@@ -1,0 +1,249 @@
+package storemlp
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// drives the same harness code that cmd/experiments uses, at a reduced
+// per-run instruction count so the full suite completes in minutes; run
+// cmd/experiments for full-scale numbers (EXPERIMENTS.md records those).
+// Headline results are attached as custom benchmark metrics.
+
+import (
+	"testing"
+
+	"storemlp/internal/experiments"
+	"storemlp/internal/uarch"
+	"storemlp/internal/workload"
+)
+
+// benchConfig sizes one harness invocation for benchmarking.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 1, Insts: 150_000, Warm: 100_000}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].StoreFreq, "dbStoreFreq/100")
+			b.ReportMetric(rows[0].StoreMiss, "dbStoreMiss/100")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[1].Overlapped, "tpcwOverlapped")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].CPIOnChip, "dbCPIonchip")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []workload.Params{workload.TPCW(1)}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, c := range cells {
+				if !c.Perfect && c.Prefetch == uarch.Sp1 && c.SB == 16 && c.SQ == 32 {
+					b.ReportMetric(c.EPI, "tpcwSp1EPI")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []workload.Params{workload.SPECjbb(1)}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Variant == "A" {
+					b.ReportMetric(r.Fractions[4], "jbbStoreSerializeFrac") // TermStoreSerialize
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []workload.Params{workload.Database(1)}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].StoreMLP, "dbStoreMLP")
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []workload.Params{workload.Database(1)}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, c := range cells {
+				if !c.Perfect && c.Prefetch == uarch.Sp0 && c.SMACEntries == 4<<10 {
+					b.ReportMetric(c.EPI, "dbSp0Smac4kEPI")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []workload.Params{workload.TPCW(1)}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, c := range cells {
+				if c.Nodes == 4 && c.SMACEntries == 4<<10 {
+					b.ReportMetric(c.InvalPer1000, "tpcw4nodeInval/1000")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []workload.Params{workload.SPECweb(1)}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var pc1, wc1 float64
+			for _, c := range cells {
+				if !c.Perfect && c.Prefetch == uarch.Sp1 {
+					switch c.Config {
+					case "PC1":
+						pc1 = c.EPI
+					case "WC1":
+						wc1 = c.EPI
+					}
+				}
+			}
+			b.ReportMetric(pc1-wc1, "webConsistencyGapEPI")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []workload.Params{workload.TPCW(1)}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, c := range cells {
+				if !c.Perfect && c.Model.String() == "PC" && c.HWS == uarch.HWS2 {
+					b.ReportMetric(c.EPI, "tpcwPcHws2EPI")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAblationCoalescing(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []workload.Params{workload.Database(1)}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCoalescing(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBandwidth(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []workload.Params{workload.Database(1)}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBandwidth(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationScoutReach(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []workload.Params{workload.TPCW(1)}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationScoutReach(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngine measures raw simulator throughput: instructions
+// simulated per second through the full epoch engine (default
+// configuration, database workload).
+func BenchmarkEngine(b *testing.B) {
+	const n = 500_000
+	w := workload.Database(1)
+	b.SetBytes(n)
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(RunSpec{Workload: w, Config: DefaultConfig(), Insts: n, Warm: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceCodec measures the binary trace round-trip rate.
+func BenchmarkTraceCodec(b *testing.B) {
+	const n = 200_000
+	b.SetBytes(n)
+	for i := 0; i < b.N; i++ {
+		var sink countWriter
+		if _, err := WriteTrace(&sink, TPCW(1), DefaultConfig(), n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

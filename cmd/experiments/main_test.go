@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubset(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-run", "table1,table3", "-insts", "100000", "-warm", "60000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Table 1", "Table 3", "database", "specweb", "[table1 took", "[table3 took"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "Figure 2") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestRunNothingSelected(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "bogus"}, &out); err == nil {
+		t.Error("bogus selection should error")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4",
+		"fig5", "fig6", "fig7", "fig8", "ablations"}
+	if len(registry) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(registry), len(want))
+	}
+	for i, name := range want {
+		if registry[i].name != name {
+			t.Errorf("registry[%d] = %s, want %s", i, registry[i].name, name)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-run", "table2", "-insts", "60000", "-warm", "30000", "-csv", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Workload,Overlapped") {
+		t.Errorf("csv content:\n%s", data)
+	}
+}

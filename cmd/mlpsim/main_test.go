@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"storemlp"
+)
+
+func TestRunBasic(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-workload", "tpcw", "-insts", "100000", "-warm", "50000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EPI", "store MLP", "off-chip CPI", "PC Sp1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunVerboseAndModes(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-workload", "specjbb", "-insts", "80000", "-warm", "40000",
+		"-model", "wc", "-prefetch", "2", "-hws", "2", "-smac", "1024",
+		"-sle", "-pps", "-v",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"WC Sp2", "SLE", "PPS", "HWS2", "SMAC1K", "termination"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-model", "nope"},
+		{"-prefetch", "9"},
+		{"-hws", "7"},
+		{"-workload", "nope"},
+		{"-trace", "/does/not/exist"},
+		{"-sle", "-tm"}, // mutually exclusive
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(append(args, "-insts", "1000", "-warm", "0"), &out); err == nil {
+			t.Errorf("args %v should error", args)
+		}
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storemlp.WriteTrace(f, storemlp.SPECweb(1), storemlp.DefaultConfig(), 60_000); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out strings.Builder
+	if err := run([]string{"-trace", path, "-warm", "20000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "EPI") {
+		t.Errorf("trace run output:\n%s", out.String())
+	}
+}
+
+func TestRunCycleValidator(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-workload", "tpcw", "-insts", "80000", "-warm", "40000", "-cycle"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cycle-level validator") ||
+		!strings.Contains(out.String(), "epoch-vs-cycle EPI ratio") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunModelledPredictor(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-workload", "specjbb", "-insts", "60000", "-warm", "30000", "-bpred"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "EPI") {
+		t.Errorf("output: %s", out.String())
+	}
+}

@@ -1,0 +1,61 @@
+// CPI breakdown: put the paper's §3.4 equation to work —
+//
+//	CPIoverall = CPIon-chip x (1 - Overlap) + EPI x MissPenalty
+//
+// using the analytical on-chip model (Table 3), the epoch engine's EPI,
+// and the Overlap term measured by the cycle-level validator, for every
+// workload and for three store-handling configurations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"storemlp"
+)
+
+const (
+	insts = 600_000
+	warm  = 300_000
+)
+
+// table3 holds the paper's CPIon-chip constants (reproduced by our
+// analytical model; see EXPERIMENTS.md).
+var table3 = map[string]float64{
+	"database": 1.11, "tpcw": 1.12, "specjbb": 0.95, "specweb": 1.38,
+}
+
+func main() {
+	fmt.Println("Overall CPI via the epoch model (CPIonchip(1-Overlap) + EPI*penalty):")
+	fmt.Printf("%-10s %-14s %8s %8s %10s %11s\n",
+		"workload", "config", "EPI", "overlap", "offchipCPI", "overallCPI")
+	for _, w := range storemlp.AllWorkloads(1) {
+		for _, mode := range []struct {
+			name   string
+			mutate func(*storemlp.Config)
+		}{
+			{"Sp0", func(c *storemlp.Config) { c.StorePrefetch = storemlp.Sp0 }},
+			{"Sp1 (default)", func(c *storemlp.Config) {}},
+			{"Sp1+HWS2", func(c *storemlp.Config) { c.HWS = storemlp.HWS2 }},
+		} {
+			cfg := storemlp.DefaultConfig()
+			mode.mutate(&cfg)
+			spec := storemlp.RunSpec{Workload: w, Config: cfg, Insts: insts, Warm: warm}
+			stats, err := storemlp.Run(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cyc, err := storemlp.RunCycleLevel(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			onchip := table3[w.Name]
+			overall := storemlp.OverallCPI(onchip, cyc.Overlap(), stats, cfg.MissPenalty)
+			fmt.Printf("%-10s %-14s %8.3f %8.3f %10.3f %11.3f\n",
+				w.Name, mode.name, stats.EPI(), cyc.Overlap(),
+				stats.OffChipCPI(cfg.MissPenalty), overall)
+		}
+	}
+	fmt.Println("\nOff-chip CPI dominates overall CPI at 500-cycle latencies — the")
+	fmt.Println("paper's motivation for optimizing store MLP in the first place.")
+}

@@ -1,0 +1,71 @@
+// OLTP store-handling tuning: reproduce the Figure 2 trade-off for the
+// database workload — how much do store prefetching, store queue size
+// and store buffer size each buy?
+//
+// The paper's conclusion, visible in this sweep: store prefetching is
+// the big lever; once it is on, enlarging the store queue past 32-64
+// entries and the store buffer past 8-16 entries returns little,
+// because serializing instructions (not capacity) become the limiter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"storemlp"
+)
+
+const (
+	insts = 1_000_000
+	warm  = 500_000
+)
+
+func run(mutate func(*storemlp.Config)) *storemlp.Stats {
+	cfg := storemlp.DefaultConfig()
+	mutate(&cfg)
+	s, err := storemlp.Run(storemlp.RunSpec{
+		Workload: storemlp.Database(1), Config: cfg, Insts: insts, Warm: warm,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func main() {
+	fmt.Println("database workload: EPI (epochs/1000 insts), lower is better")
+	fmt.Println()
+
+	fmt.Println("store prefetching (SB16, SQ32):")
+	for mode, name := range map[int]string{0: "Sp0 none      ", 1: "Sp1 at retire ", 2: "Sp2 at execute"} {
+		m := mode
+		s := run(func(c *storemlp.Config) {
+			switch m {
+			case 0:
+				c.StorePrefetch = storemlp.Sp0
+			case 1:
+				c.StorePrefetch = storemlp.Sp1
+			case 2:
+				c.StorePrefetch = storemlp.Sp2
+			}
+		})
+		fmt.Printf("  %s EPI=%.3f  storeMLP=%.2f\n", name, s.EPI(), s.StoreMLP())
+	}
+
+	fmt.Println("\nstore queue size (Sp1, SB16):")
+	for _, sq := range []int{16, 32, 64, 256} {
+		q := sq
+		s := run(func(c *storemlp.Config) { c.StoreQueue = q })
+		fmt.Printf("  SQ%-4d EPI=%.3f\n", sq, s.EPI())
+	}
+
+	fmt.Println("\nstore buffer size (Sp1, SQ32):")
+	for _, sb := range []int{8, 16, 32} {
+		b := sb
+		s := run(func(c *storemlp.Config) { c.StoreBuffer = b })
+		fmt.Printf("  SB%-4d EPI=%.3f\n", sb, s.EPI())
+	}
+
+	perfect := run(func(c *storemlp.Config) { c.PerfectStores = true })
+	fmt.Printf("\nfloor (stores never stall): EPI=%.3f\n", perfect.EPI())
+}

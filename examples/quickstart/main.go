@@ -1,0 +1,47 @@
+// Quickstart: run the epoch MLP simulator on one commercial workload
+// with the paper's default processor configuration and print the
+// headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"storemlp"
+)
+
+func main() {
+	w := storemlp.Database(1)
+	cfg := storemlp.DefaultConfig()
+
+	stats, err := storemlp.Run(storemlp.RunSpec{
+		Workload: w,
+		Config:   cfg,
+		Insts:    1_000_000,
+		Warm:     500_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s, config: %s\n\n", w.Name, cfg.Name())
+	fmt.Printf("EPI:          %6.3f epochs / 1000 instructions\n", stats.EPI())
+	fmt.Printf("MLP:          %6.3f\n", stats.MLP())
+	fmt.Printf("store MLP:    %6.3f\n", stats.StoreMLP())
+	fmt.Printf("off-chip CPI: %6.3f (at %d-cycle miss penalty)\n",
+		stats.OffChipCPI(cfg.MissPenalty), cfg.MissPenalty)
+
+	// How much of that is stores? Compare against the perfect-stores
+	// baseline (stores never stall the processor).
+	perfect := cfg
+	perfect.PerfectStores = true
+	base, err := storemlp.Run(storemlp.RunSpec{
+		Workload: w, Config: perfect, Insts: 1_000_000, Warm: 500_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nperfect-stores EPI: %.3f\n", base.EPI())
+	fmt.Printf("store contribution to off-chip CPI: %.0f%%\n",
+		100*(stats.EPI()-base.EPI())/stats.EPI())
+}

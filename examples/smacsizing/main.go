@@ -1,0 +1,69 @@
+// SMAC sizing study: explore the Store Miss Accelerator design space
+// (the paper's Figures 5 and 6) — how large must the E-state tag cache
+// be to accelerate a workload's store misses, and what does cross-chip
+// coherence traffic cost it?
+//
+// The run uses the time-compressed SMAC calibration described in
+// DESIGN.md: store-miss density x4 and a churn working set whose
+// evict-then-revisit cycle fits in a few million instructions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"storemlp"
+)
+
+func main() {
+	w := storemlp.Database(1)
+	// Time-compress the store-miss reuse cycle (see DESIGN.md §SMAC).
+	w.StoreMissPer100 *= 4
+	w.StoreWSBytes = 2 << 20
+	w.SharedWSBytes = 128 << 10
+
+	const (
+		insts = 2_000_000
+		warm  = 3_500_000
+	)
+
+	run := func(entries, nodes int) *storemlp.Stats {
+		cfg := storemlp.DefaultConfig()
+		cfg.StorePrefetch = storemlp.Sp0 // SMAC's value shows best without prefetching
+		cfg.SMACEntries = entries
+		cfg.Nodes = nodes
+		s, err := storemlp.Run(storemlp.RunSpec{Workload: w, Config: cfg, Insts: insts, Warm: warm})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+
+	fmt.Println("database workload (time-compressed), Sp0, 2-node system")
+	fmt.Printf("%-10s %8s %12s %12s %14s\n", "SMAC", "EPI", "accelerated", "hit-invalid", "inval/1000")
+	for _, entries := range []int{0, 256, 512, 1024, 2048, 4096} {
+		s := run(entries, 2)
+		label := "none"
+		if entries > 0 {
+			label = fmt.Sprintf("%d", entries)
+		}
+		var pctInvalid float64
+		if s.SMAC.Probes > 0 {
+			pctInvalid = 100 * float64(s.SMAC.HitInvalidated) / float64(s.SMAC.Probes)
+		}
+		fmt.Printf("%-10s %8.3f %12d %11.1f%% %14.3f\n",
+			label, s.EPI(), s.SMACAccelerated, pctInvalid,
+			1000*float64(s.SMAC.CoherenceInvalidates)/float64(s.Insts))
+	}
+
+	fmt.Println("\nnode scaling at 4K entries (coherence pressure):")
+	for _, nodes := range []int{2, 4} {
+		s := run(4096, nodes)
+		fmt.Printf("  %d-node: EPI=%.3f accelerated=%d invalidates/1000=%.3f\n",
+			nodes, s.EPI(), s.SMACAccelerated,
+			1000*float64(s.SMAC.CoherenceInvalidates)/float64(s.Insts))
+	}
+
+	fmt.Println("\nThe SMAC reaches prefetch-level store performance without the")
+	fmt.Println("prefetch-for-write traffic; compare cmd/experiments -run ablations.")
+}

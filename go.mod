@@ -1,0 +1,3 @@
+module storemlp
+
+go 1.22

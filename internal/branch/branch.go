@@ -1,0 +1,182 @@
+// Package branch implements the branch predictor of the paper's default
+// configuration (§4.3): a 64K-entry gshare direction predictor with
+// 2-bit saturating counters, a 16K-entry direct-mapped BTB, and a
+// 16-entry return address stack.
+//
+// In the epoch MLP model only *unresolvable* mispredictions matter — a
+// mispredicted branch whose condition hangs off an outstanding miss is
+// a window termination condition, while a quickly resolved one costs a
+// small bubble the model ignores. The default pipeline therefore takes
+// misprediction events from the workload generator's calibrated rate;
+// enabling Config.ModelBranchPredictor replaces those flags with this
+// predictor's actual hits and misses on the generated outcome stream.
+package branch
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config sizes the predictor.
+type Config struct {
+	GshareEntries int // direction predictor entries (64K in the paper)
+	BTBEntries    int // branch target buffer entries (16K)
+	RASEntries    int // return address stack depth (16)
+}
+
+// DefaultConfig is the paper's §4.3 front end.
+func DefaultConfig() Config {
+	return Config{GshareEntries: 64 << 10, BTBEntries: 16 << 10, RASEntries: 16}
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.GshareEntries <= 0 || c.GshareEntries&(c.GshareEntries-1) != 0 {
+		return fmt.Errorf("branch: gshare entries %d not a positive power of two", c.GshareEntries)
+	}
+	if c.BTBEntries <= 0 || c.BTBEntries&(c.BTBEntries-1) != 0 {
+		return fmt.Errorf("branch: BTB entries %d not a positive power of two", c.BTBEntries)
+	}
+	if c.RASEntries <= 0 {
+		return fmt.Errorf("branch: RAS entries %d not positive", c.RASEntries)
+	}
+	return nil
+}
+
+// Stats counts predictor events.
+type Stats struct {
+	Branches      int64
+	Mispredicts   int64 // direction mispredictions
+	BTBMisses     int64 // taken branches whose target was unknown
+	Calls         int64
+	Returns       int64
+	RASMispredict int64
+}
+
+// MispredictRate returns direction mispredictions per branch.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Predictor is the gshare + BTB + RAS front end.
+type Predictor struct {
+	cfg      Config
+	counters []uint8 // 2-bit saturating counters
+	history  uint64  // global history register
+	histMask uint64
+	idxMask  uint64
+
+	btbTags    []uint64
+	btbTargets []uint64
+	btbMask    uint64
+
+	ras    []uint64
+	rasTop int
+
+	Stats Stats
+}
+
+// New builds a predictor; it panics on invalid geometry.
+func New(cfg Config) *Predictor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	histBits := bits.TrailingZeros(uint(cfg.GshareEntries))
+	p := &Predictor{
+		cfg:        cfg,
+		counters:   make([]uint8, cfg.GshareEntries),
+		histMask:   (1 << histBits) - 1,
+		idxMask:    uint64(cfg.GshareEntries - 1),
+		btbTags:    make([]uint64, cfg.BTBEntries),
+		btbTargets: make([]uint64, cfg.BTBEntries),
+		btbMask:    uint64(cfg.BTBEntries - 1),
+		ras:        make([]uint64, cfg.RASEntries),
+	}
+	// Weakly taken: commercial code branches are taken-biased.
+	for i := range p.counters {
+		p.counters[i] = 2
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ (p.history & p.histMask)) & p.idxMask
+}
+
+// Predict returns the predicted direction for the branch at pc without
+// updating any state.
+func (p *Predictor) Predict(pc uint64) bool {
+	return p.counters[p.index(pc)] >= 2
+}
+
+// Update trains the predictor with the branch's actual direction and
+// (for taken branches) target, returning whether the front end
+// mispredicted — either the direction was wrong, or the branch was
+// taken and the BTB had no target for it.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) (mispredicted bool) {
+	p.Stats.Branches++
+	idx := p.index(pc)
+	pred := p.counters[idx] >= 2
+	if taken {
+		if p.counters[idx] < 3 {
+			p.counters[idx]++
+		}
+	} else if p.counters[idx] > 0 {
+		p.counters[idx]--
+	}
+	p.history = p.history<<1 | b2u(taken)
+
+	mispredicted = pred != taken
+	if taken {
+		slot := (pc >> 2) & p.btbMask
+		if p.btbTags[slot] != pc || p.btbTargets[slot] != target {
+			if p.btbTags[slot] != pc {
+				p.Stats.BTBMisses++
+				if !mispredicted {
+					// Correct direction but unknown target still
+					// redirects the front end.
+					mispredicted = true
+				}
+			}
+			p.btbTags[slot] = pc
+			p.btbTargets[slot] = target
+		}
+	}
+	if mispredicted {
+		p.Stats.Mispredicts++
+	}
+	return mispredicted
+}
+
+// Call pushes a return address onto the RAS.
+func (p *Predictor) Call(returnPC uint64) {
+	p.Stats.Calls++
+	p.ras[p.rasTop%len(p.ras)] = returnPC
+	p.rasTop++
+}
+
+// Return pops the RAS and reports whether the predicted return address
+// matched.
+func (p *Predictor) Return(actual uint64) bool {
+	p.Stats.Returns++
+	if p.rasTop == 0 {
+		p.Stats.RASMispredict++
+		return false
+	}
+	p.rasTop--
+	if p.ras[p.rasTop%len(p.ras)] != actual {
+		p.Stats.RASMispredict++
+		return false
+	}
+	return true
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

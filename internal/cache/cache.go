@@ -1,0 +1,234 @@
+// Package cache models the on-chip cache hierarchy of the paper's
+// default configuration (§4.3): private 32 KB 4-way L1 instruction and
+// data caches (the D-cache is write-through, no-write-allocate), a
+// shared 2 MB 4-way L2, and a 2K-entry TLB, all with 64 B lines and LRU
+// replacement. L2 lines carry MESI states so that store misses,
+// ownership upgrades, and cross-chip invalidations can be modelled.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MESI is the coherence state of a cache line.
+type MESI uint8
+
+const (
+	// Invalid: the line is not present.
+	Invalid MESI = iota
+	// Shared: present, clean, possibly cached by other chips; a store
+	// requires an ownership upgrade (cross-chip invalidation).
+	Shared
+	// Exclusive: present, clean, owned by this chip; a store may proceed
+	// without any cross-chip transaction.
+	Exclusive
+	// Modified: present, dirty, owned by this chip.
+	Modified
+)
+
+func (s MESI) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Owned reports whether the state permits a store without a cross-chip
+// ownership transaction.
+func (s MESI) Owned() bool { return s == Exclusive || s == Modified }
+
+// Params sizes a cache.
+type Params struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineBytes int // line size (power of two)
+}
+
+// Sets returns the number of sets implied by the parameters.
+func (p Params) Sets() int { return p.SizeBytes / (p.Ways * p.LineBytes) }
+
+// Validate checks that the geometry is realizable.
+func (p Params) Validate() error {
+	if p.SizeBytes <= 0 || p.Ways <= 0 || p.LineBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", p)
+	}
+	if p.LineBytes&(p.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", p.LineBytes)
+	}
+	sets := p.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a positive power of two (size %d, ways %d, line %d)",
+			sets, p.SizeBytes, p.Ways, p.LineBytes)
+	}
+	return nil
+}
+
+type way struct {
+	tag   uint64
+	state MESI
+	lru   uint64 // higher = more recently used
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	ways      []way // sets*assoc entries, set-major
+	assoc     int
+	lineShift uint
+	setMask   uint64
+	clock     uint64
+
+	// Stats counts accesses and misses since construction.
+	Stats Stats
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses    int64
+	Misses      int64
+	Evictions   int64
+	Invalidates int64
+}
+
+// MissRate returns misses/accesses, or 0 if there were no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// New builds a cache; it panics on invalid geometry (construction-time
+// configuration errors are programmer errors).
+func New(p Params) *Cache {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	sets := p.Sets()
+	return &Cache{
+		ways:      make([]way, sets*p.Ways),
+		assoc:     p.Ways,
+		lineShift: uint(bits.TrailingZeros(uint(p.LineBytes))),
+		setMask:   uint64(sets - 1),
+	}
+}
+
+// Line returns the line address (address with the offset bits cleared).
+func (c *Cache) Line(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
+
+func (c *Cache) set(addr uint64) []way {
+	idx := (addr >> c.lineShift) & c.setMask
+	return c.ways[idx*uint64(c.assoc) : (idx+1)*uint64(c.assoc)]
+}
+
+// Probe reports the state of the line containing addr without updating
+// LRU or statistics.
+func (c *Cache) Probe(addr uint64) MESI {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// Lookup checks for the line containing addr, updating LRU and access
+// statistics. It returns the line's state (Invalid on miss).
+func (c *Cache) Lookup(addr uint64) MESI {
+	c.Stats.Accesses++
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			c.clock++
+			set[i].lru = c.clock
+			return set[i].state
+		}
+	}
+	c.Stats.Misses++
+	return Invalid
+}
+
+// Insert fills the line containing addr with the given state, evicting
+// the LRU way if the set is full. It returns the evicted line address
+// and state (ok=false if nothing valid was evicted). Inserting a line
+// that is already present just updates its state and LRU position.
+func (c *Cache) Insert(addr uint64, state MESI) (evictedAddr uint64, evictedState MESI, ok bool) {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	c.clock++
+	victim := 0
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			set[i].state = state
+			set[i].lru = c.clock
+			return 0, Invalid, false
+		}
+		if set[i].state == Invalid {
+			victim = i
+		} else if set[victim].state != Invalid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.state != Invalid {
+		c.Stats.Evictions++
+		evictedAddr = v.tag << c.lineShift
+		evictedState = v.state
+		ok = true
+	}
+	v.tag = tag
+	v.state = state
+	v.lru = c.clock
+	return evictedAddr, evictedState, ok
+}
+
+// SetState updates the state of a resident line; it reports whether the
+// line was present.
+func (c *Cache) SetState(addr uint64, state MESI) bool {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			set[i].state = state
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line containing addr, returning its previous
+// state (Invalid if it was not present).
+func (c *Cache) Invalidate(addr uint64) MESI {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			prev := set[i].state
+			set[i].state = Invalid
+			c.Stats.Invalidates++
+			return prev
+		}
+	}
+	return Invalid
+}
+
+// Occupancy returns the number of valid lines (for tests).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.ways {
+		if c.ways[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,228 @@
+package cache
+
+// Hierarchy ties together the per-core L1 caches, the shared L2, and the
+// TLB of the paper's default configuration, and classifies every access
+// as on-chip or off-chip. "Off-chip" means the access requires a
+// long-latency transaction beyond the L2: a data fetch from memory, or a
+// cross-chip ownership upgrade for a store to a Shared line.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	TLB *Cache // tracks pages; misses are counted but are not epoch events
+
+	pageBytes int
+
+	// OnL2Evict, if non-nil, is called for every valid line evicted from
+	// the L2 with its address and pre-eviction state. The Store Miss
+	// Accelerator hooks this to capture downgraded Modified lines.
+	OnL2Evict func(addr uint64, state MESI)
+
+	// Stats accumulates the per-access-kind counters behind Table 1 and
+	// the L2 bandwidth accounting.
+	Stats HierarchyStats
+}
+
+// HierarchyStats counts accesses and off-chip misses per access kind,
+// plus L2 traffic (used to quantify the store-prefetch bandwidth cost
+// that motivates the SMAC).
+type HierarchyStats struct {
+	Fetches        int64
+	FetchOffChip   int64
+	Loads          int64
+	LoadOffChip    int64
+	Stores         int64
+	StoreOffChip   int64
+	StoreUpgrades  int64 // subset of StoreOffChip: S->M ownership upgrades
+	TLBMisses      int64
+	L2StoreTraffic int64 // store commit requests reaching the L2
+	L2PrefetchReqs int64 // additional prefetch-for-write / scout requests
+}
+
+// Config sizes a hierarchy.
+type Config struct {
+	L1I, L1D, L2 Params
+	TLBEntries   int
+	PageBytes    int
+}
+
+// DefaultConfig is the paper's §4.3 hierarchy: 32 KB 4-way L1s, 2 MB
+// 4-way shared L2, 64 B lines, 2K-entry TLB with 8 KB pages.
+func DefaultConfig() Config {
+	return Config{
+		L1I:        Params{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64},
+		L1D:        Params{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64},
+		L2:         Params{SizeBytes: 2 << 20, Ways: 4, LineBytes: 64},
+		TLBEntries: 2048,
+		PageBytes:  8 << 10,
+	}
+}
+
+// NewHierarchy builds the cache hierarchy.
+func NewHierarchy(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		L1I: New(cfg.L1I),
+		L1D: New(cfg.L1D),
+		L2:  New(cfg.L2),
+		TLB: New(Params{
+			SizeBytes: cfg.TLBEntries * cfg.PageBytes,
+			Ways:      4,
+			LineBytes: cfg.PageBytes,
+		}),
+		pageBytes: cfg.PageBytes,
+	}
+}
+
+// NewSharedHierarchy builds a second core's view of the hierarchy:
+// private L1s and TLB, sharing the given L2 — the paper's CMP
+// configuration has two single-threaded cores per shared L2.
+func NewSharedHierarchy(cfg Config, l2 *Cache) *Hierarchy {
+	return &Hierarchy{
+		L1I: New(cfg.L1I),
+		L1D: New(cfg.L1D),
+		L2:  l2,
+		TLB: New(Params{
+			SizeBytes: cfg.TLBEntries * cfg.PageBytes,
+			Ways:      4,
+			LineBytes: cfg.PageBytes,
+		}),
+		pageBytes: cfg.PageBytes,
+	}
+}
+
+// Result describes one access's interaction with the hierarchy.
+type Result struct {
+	L1Hit   bool
+	L2Hit   bool // valid line found in L2 (any state)
+	OffChip bool // required an off-chip transaction
+	Upgrade bool // off-chip transaction was an S->M ownership upgrade
+}
+
+func (h *Hierarchy) insertL2(addr uint64, state MESI) {
+	if ev, st, ok := h.L2.Insert(addr, state); ok && h.OnL2Evict != nil {
+		h.OnL2Evict(ev, st)
+	}
+}
+
+func (h *Hierarchy) touchTLB(addr uint64) {
+	if h.TLB.Lookup(addr) == Invalid {
+		h.Stats.TLBMisses++
+		h.TLB.Insert(addr, Exclusive)
+	}
+}
+
+// Fetch performs an instruction fetch for the line containing pc.
+func (h *Hierarchy) Fetch(pc uint64) Result {
+	h.Stats.Fetches++
+	if h.L1I.Lookup(pc) != Invalid {
+		return Result{L1Hit: true, L2Hit: true}
+	}
+	if h.L2.Lookup(pc) != Invalid {
+		h.L1I.Insert(pc, Shared)
+		return Result{L2Hit: true}
+	}
+	h.Stats.FetchOffChip++
+	h.insertL2(pc, Shared)
+	h.L1I.Insert(pc, Shared)
+	return Result{OffChip: true}
+}
+
+// Load performs a data load. shared marks data reachable by other chips,
+// which fills in the Shared state (so later stores need upgrades).
+func (h *Hierarchy) Load(addr uint64, shared bool) Result {
+	h.Stats.Loads++
+	h.touchTLB(addr)
+	if h.L1D.Lookup(addr) != Invalid {
+		return Result{L1Hit: true, L2Hit: true}
+	}
+	if h.L2.Lookup(addr) != Invalid {
+		h.L1D.Insert(addr, Shared)
+		return Result{L2Hit: true}
+	}
+	h.Stats.LoadOffChip++
+	st := Exclusive
+	if shared {
+		st = Shared
+	}
+	h.insertL2(addr, st)
+	h.L1D.Insert(addr, Shared)
+	return Result{OffChip: true}
+}
+
+// Store performs a data store. The L1D is write-through and
+// no-write-allocate, so the store's fate is decided entirely at the L2:
+// a hit in M or E commits on-chip; a hit in S needs a cross-chip
+// ownership upgrade; a miss needs a full off-chip fill with ownership.
+func (h *Hierarchy) Store(addr uint64, shared bool) Result {
+	h.Stats.Stores++
+	h.Stats.L2StoreTraffic++
+	h.touchTLB(addr)
+	l1 := h.L1D.Lookup(addr) != Invalid // write-through: update if present
+	switch h.L2.Lookup(addr) {
+	case Modified:
+		return Result{L1Hit: l1, L2Hit: true}
+	case Exclusive:
+		h.L2.SetState(addr, Modified)
+		return Result{L1Hit: l1, L2Hit: true}
+	case Shared:
+		h.Stats.StoreOffChip++
+		h.Stats.StoreUpgrades++
+		h.L2.SetState(addr, Modified)
+		return Result{L1Hit: l1, L2Hit: true, OffChip: true, Upgrade: true}
+	default:
+		h.Stats.StoreOffChip++
+		h.insertL2(addr, Modified)
+		_ = shared // ownership is acquired regardless; sharing returns via snoops
+		return Result{L1Hit: l1, OffChip: true}
+	}
+}
+
+// PrefetchLoad installs the line containing addr as a load would,
+// counting it as L2 prefetch traffic. Used by Hardware Scout for missing
+// loads and missing instructions.
+func (h *Hierarchy) PrefetchLoad(addr uint64, shared bool) {
+	h.Stats.L2PrefetchReqs++
+	if h.L2.Probe(addr) != Invalid {
+		return
+	}
+	st := Exclusive
+	if shared {
+		st = Shared
+	}
+	h.insertL2(addr, st)
+}
+
+// PrefetchStore issues a "prefetch for write": the line containing addr
+// is acquired in Modified state, counting L2 prefetch traffic. Used by
+// store prefetching (at retire or at execute) and by scout-mode store
+// prefetches.
+func (h *Hierarchy) PrefetchStore(addr uint64) {
+	h.Stats.L2PrefetchReqs++
+	if h.L2.Probe(addr).Owned() {
+		h.L2.SetState(addr, Modified)
+		return
+	}
+	if h.L2.Probe(addr) == Shared {
+		h.L2.SetState(addr, Modified)
+		return
+	}
+	h.insertL2(addr, Modified)
+}
+
+// SnoopInvalidate applies a remote chip's request-to-own: the local line
+// is invalidated. It reports the state the line held.
+func (h *Hierarchy) SnoopInvalidate(addr uint64) MESI {
+	h.L1D.Invalidate(addr)
+	h.L1I.Invalidate(addr)
+	return h.L2.Invalidate(addr)
+}
+
+// SnoopShared applies a remote chip's read request: an owned local line
+// is demoted to Shared (so the next local store needs an upgrade).
+func (h *Hierarchy) SnoopShared(addr uint64) MESI {
+	prev := h.L2.Probe(addr)
+	if prev.Owned() {
+		h.L2.SetState(addr, Shared)
+	}
+	return prev
+}

@@ -1,0 +1,165 @@
+package coherence
+
+import (
+	"math"
+	"testing"
+)
+
+func spec() TrafficSpec {
+	return TrafficSpec{
+		Regions:           []Region{{Base: 0x100000, Size: 1 << 20}},
+		EventsPerKiloInst: 2.0,
+		StoreFraction:     0.75,
+		LineBytes:         64,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := spec().Validate(); err != nil {
+		t.Fatalf("good spec invalid: %v", err)
+	}
+	bad := []TrafficSpec{
+		{EventsPerKiloInst: -1, LineBytes: 64},
+		{EventsPerKiloInst: 1, StoreFraction: 2, LineBytes: 64, Regions: []Region{{0, 1}}},
+		{EventsPerKiloInst: 1, StoreFraction: 0.5, LineBytes: 64}, // no regions
+		{EventsPerKiloInst: 1, StoreFraction: 0.5, LineBytes: 63, Regions: []Region{{0, 1}}},
+		{EventsPerKiloInst: 1, StoreFraction: 0.5, LineBytes: 64, Regions: []Region{{0, 0}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 0x100}
+	for addr, want := range map[uint64]bool{
+		0x0fff: false, 0x1000: true, 0x10ff: true, 0x1100: false,
+	} {
+		if got := r.Contains(addr); got != want {
+			t.Errorf("Contains(%#x) = %v, want %v", addr, got, want)
+		}
+	}
+}
+
+func TestTrafficRate(t *testing.T) {
+	var got []Snoop
+	tr, err := NewTraffic(spec(), 2, 1, func(s Snoop) { got = append(got, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Advance(100_000) // 2/kiloinst * 1 remote node => ~200 events
+	if tr.Delivered != 200 {
+		t.Errorf("Delivered = %d, want 200", tr.Delivered)
+	}
+	if int64(len(got)) != tr.Delivered {
+		t.Errorf("handler saw %d, Delivered %d", len(got), tr.Delivered)
+	}
+	// 4-node: 3 remote nodes => 3x traffic.
+	tr4, err := NewTraffic(spec(), 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr4.Advance(100_000)
+	if tr4.Delivered != 600 {
+		t.Errorf("4-node Delivered = %d, want 600", tr4.Delivered)
+	}
+}
+
+func TestTrafficSingleNodeSilent(t *testing.T) {
+	tr, err := NewTraffic(spec(), 1, 1, func(Snoop) { t.Error("single node must not snoop") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Advance(1_000_000)
+	if tr.Delivered != 0 {
+		t.Errorf("Delivered = %d", tr.Delivered)
+	}
+}
+
+func TestTrafficAddressesAndMix(t *testing.T) {
+	s := spec()
+	var rto, rd int
+	tr, err := NewTraffic(s, 2, 42, func(sn Snoop) {
+		if !s.Regions[0].Contains(sn.Addr) {
+			t.Fatalf("snoop addr %#x outside region", sn.Addr)
+		}
+		if sn.Addr%64 != 0 {
+			t.Fatalf("snoop addr %#x not line aligned", sn.Addr)
+		}
+		if sn.Kind == SnoopRTO {
+			rto++
+		} else {
+			rd++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Advance(500_000) // 1000 events
+	frac := float64(rto) / float64(rto+rd)
+	if math.Abs(frac-0.75) > 0.05 {
+		t.Errorf("store fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestTrafficDeterminism(t *testing.T) {
+	collect := func() []Snoop {
+		var got []Snoop
+		tr, _ := NewTraffic(spec(), 2, 7, func(s Snoop) { got = append(got, s) })
+		tr.Advance(10_000)
+		return got
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNilTrafficAdvance(t *testing.T) {
+	var tr *Traffic
+	tr.Advance(1000) // must not panic
+}
+
+func TestNewTrafficErrors(t *testing.T) {
+	if _, err := NewTraffic(spec(), 0, 1, nil); err == nil {
+		t.Error("nodes=0 should error")
+	}
+	bad := spec()
+	bad.StoreFraction = -1
+	if _, err := NewTraffic(bad, 2, 1, nil); err == nil {
+		t.Error("bad spec should error")
+	}
+}
+
+func TestSnoopKindString(t *testing.T) {
+	if SnoopRTO.String() != "rto" || SnoopRead.String() != "read" {
+		t.Error("SnoopKind strings wrong")
+	}
+}
+
+func TestSetHandler(t *testing.T) {
+	tr, err := NewTraffic(spec(), 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Advance(1000) // no handler: counted but dropped
+	if tr.Delivered != 2 {
+		t.Fatalf("Delivered = %d", tr.Delivered)
+	}
+	n := 0
+	tr.SetHandler(func(Snoop) { n++ })
+	tr.Advance(1000)
+	if n != 2 {
+		t.Errorf("handler calls = %d, want 2", n)
+	}
+	if tr.Nodes() != 2 {
+		t.Errorf("Nodes = %d", tr.Nodes())
+	}
+}

@@ -1,0 +1,386 @@
+// Package cyclesim is a simplified cycle-level simulator used to
+// cross-validate the epoch MLP engine, the way the paper validates
+// MLPsim against its in-house cycle-accurate simulator (§4.1):
+//
+//	"In a cycle-accurate simulator, EPI is tracked by counting epoch
+//	triggers. ... the number of times the number of outstanding
+//	off-chip misses transitions from 0 to 1 is counted. MLP is measured
+//	by averaging the number of misses outstanding over all cycles where
+//	at least one miss is outstanding."
+//
+// The model is deliberately simple — single-issue front end, in-order
+// retirement from a ROB, in-order (PC) or out-of-order (WC) store
+// commit from a store queue, serializing-instruction drains, and the
+// three store prefetch modes — but it advances real cycles, so it also
+// measures Overlap: the fraction of on-chip execution cycles hidden
+// under off-chip misses, which §3.4 needs to translate EPI into overall
+// CPI.
+package cyclesim
+
+import (
+	"fmt"
+
+	"storemlp/internal/cache"
+	"storemlp/internal/isa"
+	"storemlp/internal/trace"
+	"storemlp/internal/uarch"
+)
+
+// Stats is the output of a cycle-level run.
+type Stats struct {
+	Insts  int64
+	Cycles int64
+	// Epochs counts 0->1 transitions of the outstanding-miss count.
+	Epochs int64
+	// MissCycles is the number of cycles with >= 1 outstanding miss;
+	// MissSum accumulates the outstanding count over those cycles.
+	MissCycles int64
+	MissSum    int64
+	// BusyMissCycles counts cycles that both executed an instruction and
+	// had a miss outstanding (the overlap numerator).
+	BusyMissCycles int64
+	BusyCycles     int64 // cycles that executed an instruction
+
+	StoreMisses int64
+	LoadMisses  int64
+	InstMisses  int64
+}
+
+// EPI returns epochs per 1000 instructions.
+func (s *Stats) EPI() float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Epochs) / float64(s.Insts)
+}
+
+// MLP returns the average number of outstanding misses over cycles with
+// at least one outstanding.
+func (s *Stats) MLP() float64 {
+	if s.MissCycles == 0 {
+		return 0
+	}
+	return float64(s.MissSum) / float64(s.MissCycles)
+}
+
+// CPI returns cycles per instruction.
+func (s *Stats) CPI() float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Insts)
+}
+
+// Overlap returns the fraction of busy (instruction-executing) cycles
+// that were hidden under an outstanding off-chip miss — the Overlap
+// term of §3.4.
+func (s *Stats) Overlap() float64 {
+	if s.BusyCycles == 0 {
+		return 0
+	}
+	return float64(s.BusyMissCycles) / float64(s.BusyCycles)
+}
+
+// inflight is one instruction between dispatch and retirement.
+type inflight struct {
+	op       isa.Op
+	dst      isa.Reg
+	addr     uint64
+	flags    isa.Flags
+	ready    int64 // cycle its result is available
+	measured bool
+}
+
+// sqEntry is a store between retirement and commit.
+type sqEntry struct {
+	addr     uint64
+	shared   bool
+	arrival  int64 // cycle prefetched ownership arrives; 0 = not prefetched
+	measured bool
+}
+
+// Sim is the cycle-level machine.
+type Sim struct {
+	cfg  uarch.Config
+	hier *cache.Hierarchy
+
+	cycle    int64
+	regReady [isa.RegCount]int64
+
+	rob []inflight // dispatched, unretired (in order)
+	sq  []sqEntry  // retired, uncommitted stores
+	sb  int        // stores in the ROB (store buffer occupancy)
+
+	// Outstanding off-chip misses, as completion cycles.
+	misses []int64
+
+	// Serialization: no dispatch until this cycle.
+	serialUntil int64
+	// In-order commit: cycle the previous store finished committing.
+	prevCommitDone int64
+
+	fetchStall int64 // fetch blocked until this cycle (ifetch miss)
+
+	// sp2 records prefetch-at-execute arrival cycles per line address.
+	sp2 map[uint64]int64
+
+	warm  int64
+	stats Stats
+}
+
+// New builds a cycle simulator for the configuration. Only the
+// parameters with cycle-level meaning are honoured: ROB, StoreBuffer,
+// StoreQueue, StorePrefetch, Model, MissPenalty, PerfectStores, caches.
+func New(cfg uarch.Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sim{
+		cfg:  cfg,
+		hier: cache.NewHierarchy(cfg.Hierarchy),
+		sp2:  make(map[uint64]int64),
+		warm: cfg.WarmInsts,
+	}, nil
+}
+
+// Hierarchy exposes the cache hierarchy for prewarming in tests.
+func (s *Sim) Hierarchy() *cache.Hierarchy { return s.hier }
+
+func (s *Sim) measuring(inst int64) bool { return inst >= s.warm }
+
+// addMiss registers an off-chip access completing after the miss
+// penalty and counts the epoch trigger if none was outstanding.
+func (s *Sim) addMiss(measuring bool, kind *int64) int64 {
+	done := s.cycle + int64(s.cfg.MissPenalty)
+	if measuring {
+		if len(s.misses) == 0 {
+			s.stats.Epochs++
+		}
+		*kind++
+	}
+	s.misses = append(s.misses, done)
+	return done
+}
+
+// tick advances one cycle, accounting outstanding-miss statistics.
+func (s *Sim) tick(measuring, busy bool) {
+	if measuring {
+		s.stats.Cycles++
+		if busy {
+			s.stats.BusyCycles++
+		}
+		if n := int64(len(s.misses)); n > 0 {
+			s.stats.MissCycles++
+			s.stats.MissSum += n
+			if busy {
+				s.stats.BusyMissCycles++
+			}
+		}
+	}
+	s.cycle++
+	s.reap()
+}
+
+// reap drops completed misses.
+func (s *Sim) reap() {
+	out := s.misses[:0]
+	for _, done := range s.misses {
+		if done > s.cycle {
+			out = append(out, done)
+		}
+	}
+	s.misses = out
+}
+
+// retire drains completed instructions from the ROB head and moves
+// retiring stores into the store queue (if there is room).
+func (s *Sim) retire() {
+	for len(s.rob) > 0 {
+		head := s.rob[0]
+		if head.ready > s.cycle {
+			return
+		}
+		if head.op.IsStore() && head.op != isa.OpCASA {
+			if s.cfg.StoreQueue > 0 && len(s.sq) >= s.cfg.StoreQueue && !s.cfg.PerfectStores {
+				return // store queue full: retirement stalls
+			}
+			if !s.cfg.PerfectStores {
+				e := sqEntry{addr: head.addr, shared: head.flags.Has(isa.FlagShared), measured: head.measured}
+				switch s.cfg.StorePrefetch {
+				case uarch.Sp1:
+					e.arrival = s.prefetchStore(head.addr, head.measured)
+				case uarch.Sp2:
+					if pf, ok := s.sp2[head.addr]; ok {
+						e.arrival = pf
+						delete(s.sp2, head.addr)
+					}
+				}
+				s.sq = append(s.sq, e)
+			}
+			s.sb--
+		}
+		s.rob = s.rob[1:]
+	}
+}
+
+// prefetchStore issues a prefetch-for-write and returns its arrival
+// cycle (0 if the line is already owned).
+func (s *Sim) prefetchStore(addr uint64, measured bool) int64 {
+	if s.hier.L2.Probe(addr).Owned() {
+		return 0
+	}
+	s.hier.PrefetchStore(addr)
+	return s.addMiss(measured, &s.stats.StoreMisses)
+}
+
+// commit processes the store queue: strictly in order under PC,
+// per-entry under WC (out-of-order commit).
+func (s *Sim) commit() {
+	if s.cfg.Model.InOrderCommit() {
+		for len(s.sq) > 0 {
+			if s.prevCommitDone > s.cycle {
+				return
+			}
+			e := &s.sq[0]
+			if e.arrival > s.cycle {
+				return
+			}
+			res := s.hier.Store(e.addr, e.shared)
+			if res.OffChip && e.arrival == 0 {
+				// Sp0: the miss begins at the head of the queue and
+				// blocks all younger commits.
+				done := s.addMiss(e.measured, &s.stats.StoreMisses)
+				e.arrival = done
+				s.prevCommitDone = done
+				return
+			}
+			s.sq = s.sq[1:]
+		}
+		return
+	}
+	// WC: every entry commits independently as its line arrives.
+	out := s.sq[:0]
+	for i := range s.sq {
+		e := s.sq[i]
+		if e.arrival > s.cycle {
+			out = append(out, e)
+			continue
+		}
+		res := s.hier.Store(e.addr, e.shared)
+		if res.OffChip && e.arrival == 0 {
+			e.arrival = s.addMiss(e.measured, &s.stats.StoreMisses)
+			out = append(out, e)
+			continue
+		}
+	}
+	s.sq = out
+}
+
+// Run drives the trace to completion and returns the statistics.
+func (s *Sim) Run(src trace.Source) (*Stats, error) {
+	if src == nil {
+		return nil, fmt.Errorf("cyclesim: nil source")
+	}
+	var instIdx int64
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		measuring := s.measuring(instIdx)
+		instIdx++
+
+		// Stall until fetch, serialization, and structural hazards allow
+		// dispatch of this instruction.
+		for {
+			s.retire()
+			s.commit()
+			switch {
+			case s.cycle < s.fetchStall,
+				s.cycle < s.serialUntil,
+				len(s.rob) >= s.cfg.ROB,
+				in.Op.IsStore() && !s.cfg.PerfectStores && s.sb >= s.cfg.StoreBuffer:
+				s.tick(measuring, false)
+				continue
+			}
+			if in.Serializing() {
+				if len(s.rob) > 0 {
+					s.tick(measuring, false)
+					continue
+				}
+				if s.cfg.Model.DrainsStoresOnSerialize() && in.Op != isa.OpISync &&
+					!s.cfg.PerfectStores && len(s.sq) > 0 {
+					s.tick(measuring, false)
+					continue
+				}
+			}
+			break
+		}
+
+		// Instruction fetch.
+		fr := s.hier.Fetch(in.PC)
+		if fr.OffChip {
+			s.fetchStall = s.addMiss(measuring, &s.stats.InstMisses)
+		}
+
+		// Dispatch and execute.
+		ready := s.cycle + 1
+		if r := s.regReady[in.Src1]; r > ready {
+			ready = r
+		}
+		if r := s.regReady[in.Src2]; r > ready {
+			ready = r
+		}
+		switch {
+		case in.Op.IsLoad() && in.Op != isa.OpCASA:
+			res := s.hier.Load(in.Addr, in.Flags.Has(isa.FlagShared))
+			if res.OffChip {
+				ready = s.addMiss(measuring, &s.stats.LoadMisses)
+			}
+			if in.Dst != 0 {
+				s.regReady[in.Dst] = ready
+			}
+		case in.Op == isa.OpCASA:
+			res := s.hier.Store(in.Addr, in.Flags.Has(isa.FlagShared))
+			if res.OffChip && !s.cfg.PerfectStores {
+				ready = s.addMiss(measuring, &s.stats.StoreMisses)
+			}
+			if in.Dst != 0 {
+				s.regReady[in.Dst] = ready
+			}
+			s.serialUntil = ready
+		case in.Op == isa.OpMembar || in.Op == isa.OpISync:
+			s.serialUntil = ready
+		case in.Op.IsStore():
+			s.sb++
+			if s.cfg.StorePrefetch == uarch.Sp2 && !s.cfg.PerfectStores {
+				if !s.hier.L2.Probe(in.Addr).Owned() {
+					s.hier.PrefetchStore(in.Addr)
+					s.sp2[in.Addr] = s.addMiss(measuring, &s.stats.StoreMisses)
+				}
+			}
+		default:
+			if in.Dst != 0 {
+				s.regReady[in.Dst] = ready
+			}
+		}
+
+		s.rob = append(s.rob, inflight{
+			op: in.Op, dst: in.Dst, addr: in.Addr, flags: in.Flags,
+			ready: ready, measured: measuring,
+		})
+		if measuring {
+			s.stats.Insts++
+		}
+		s.tick(measuring, true)
+	}
+
+	// Drain.
+	deadline := s.cycle + 4*int64(s.cfg.MissPenalty)
+	for (len(s.rob) > 0 || len(s.sq) > 0) && s.cycle < deadline {
+		s.retire()
+		s.commit()
+		s.tick(false, false)
+	}
+	return &s.stats, nil
+}

@@ -1,0 +1,225 @@
+package cyclesim
+
+import (
+	"math"
+	"testing"
+
+	"storemlp/internal/consistency"
+	"storemlp/internal/epoch"
+	"storemlp/internal/isa"
+	"storemlp/internal/sim"
+	"storemlp/internal/trace"
+	"storemlp/internal/uarch"
+	"storemlp/internal/workload"
+)
+
+const (
+	hotPC = uint64(0x1000)
+)
+
+func cold(i int) uint64 { return 0x40000000 + uint64(i)*64 }
+
+func cfgSmall() uarch.Config {
+	c := uarch.Default()
+	c.StoreBuffer = 2
+	c.StoreQueue = 2
+	c.StorePrefetch = uarch.Sp0
+	c.CoalesceBytes = 0
+	c.MissPenalty = 100
+	return c
+}
+
+func runCycles(t *testing.T, cfg uarch.Config, insts []isa.Inst) *Stats {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Hierarchy().Fetch(hotPC)
+	stats, err := s.Run(trace.NewSlice(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func st(addr uint64) isa.Inst { return isa.Inst{Op: isa.OpStore, PC: hotPC, Addr: addr, Size: 8} }
+func ld(addr uint64) isa.Inst { return isa.Inst{Op: isa.OpLoad, PC: hotPC, Addr: addr, Size: 8} }
+func alu() isa.Inst           { return isa.Inst{Op: isa.OpALU, PC: hotPC} }
+
+func TestNewValidates(t *testing.T) {
+	bad := cfgSmall()
+	bad.ROB = 0
+	if _, err := New(bad); err == nil {
+		t.Error("invalid config should error")
+	}
+	s, err := New(cfgSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(nil); err == nil {
+		t.Error("nil source should error")
+	}
+}
+
+func TestSingleMissOneEpoch(t *testing.T) {
+	s := runCycles(t, cfgSmall(), []isa.Inst{ld(cold(0)), alu()})
+	if s.Epochs != 1 || s.LoadMisses != 1 {
+		t.Errorf("epochs=%d loads=%d", s.Epochs, s.LoadMisses)
+	}
+	if s.CPI() < 1 {
+		t.Errorf("CPI = %v", s.CPI())
+	}
+}
+
+// Example 4's shape in cycle space: serialized Sp0 store misses take
+// roughly 3 miss penalties; Sp2 overlaps them into roughly one.
+func TestPrefetchOverlapCycles(t *testing.T) {
+	insts := []isa.Inst{
+		st(cold(0)), st(cold(1)), st(cold(2)),
+		{Op: isa.OpMembar, PC: hotPC},
+		alu(),
+	}
+	sp0 := runCycles(t, cfgSmall(), insts)
+	cfg := cfgSmall()
+	cfg.StorePrefetch = uarch.Sp2
+	sp2 := runCycles(t, cfg, insts)
+	if sp0.Epochs != 3 {
+		t.Errorf("Sp0 epochs = %d, want 3", sp0.Epochs)
+	}
+	if sp2.Epochs != 1 {
+		t.Errorf("Sp2 epochs = %d, want 1", sp2.Epochs)
+	}
+	if sp2.Cycles >= sp0.Cycles {
+		t.Errorf("Sp2 cycles (%d) should beat Sp0 (%d)", sp2.Cycles, sp0.Cycles)
+	}
+	if sp2.MLP() <= sp0.MLP() {
+		t.Errorf("Sp2 MLP (%.2f) should exceed Sp0 (%.2f)", sp2.MLP(), sp0.MLP())
+	}
+}
+
+func TestWCOverlapsPastMissingStore(t *testing.T) {
+	insts := []isa.Inst{st(cold(0)), st(cold(1))}
+	pc := runCycles(t, cfgSmall(), insts)
+	cfg := cfgSmall()
+	cfg.Model = consistency.WC
+	wc := runCycles(t, cfg, insts)
+	if pc.Epochs != 2 {
+		t.Errorf("PC epochs = %d, want 2", pc.Epochs)
+	}
+	if wc.Epochs != 1 {
+		t.Errorf("WC epochs = %d, want 1", wc.Epochs)
+	}
+}
+
+func TestPerfectStoresIgnoreStores(t *testing.T) {
+	cfg := cfgSmall()
+	cfg.PerfectStores = true
+	s := runCycles(t, cfg, []isa.Inst{st(cold(0)), st(cold(1)), alu()})
+	if s.Epochs != 0 || s.StoreMisses != 0 {
+		t.Errorf("perfect: epochs=%d stores=%d", s.Epochs, s.StoreMisses)
+	}
+}
+
+func TestSerializerDrainsStores(t *testing.T) {
+	// Store miss, membar, load miss: the load's miss cannot overlap the
+	// store's under PC.
+	insts := []isa.Inst{st(cold(0)), {Op: isa.OpMembar, PC: hotPC}, ld(cold(1))}
+	s := runCycles(t, cfgSmall(), insts)
+	if s.Epochs != 2 {
+		t.Errorf("epochs = %d, want 2", s.Epochs)
+	}
+	// Under WC (isync) the drain is skipped... the load still waits for
+	// the pipeline but not the store queue.
+	cfg := cfgSmall()
+	cfg.Model = consistency.WC
+	wcInsts := []isa.Inst{st(cold(0)), {Op: isa.OpISync, PC: hotPC}, ld(cold(1))}
+	ws := runCycles(t, cfg, wcInsts)
+	if ws.Epochs != 1 {
+		t.Errorf("WC epochs = %d, want 1", ws.Epochs)
+	}
+}
+
+func TestOverlapMetric(t *testing.T) {
+	// A miss followed by many independent ALU ops: most busy cycles are
+	// hidden under the miss.
+	var insts []isa.Inst
+	insts = append(insts, ld(cold(0)))
+	for i := 0; i < 50; i++ {
+		insts = append(insts, alu())
+	}
+	s := runCycles(t, cfgSmall(), insts)
+	if s.Overlap() <= 0.3 {
+		t.Errorf("Overlap = %.2f, want substantial", s.Overlap())
+	}
+	if s.Overlap() > 1 {
+		t.Errorf("Overlap = %.2f > 1", s.Overlap())
+	}
+}
+
+func TestStatsZeroSafety(t *testing.T) {
+	var s Stats
+	if s.EPI() != 0 || s.MLP() != 0 || s.CPI() != 0 || s.Overlap() != 0 {
+		t.Error("zero stats helpers should return 0")
+	}
+}
+
+// Cross-validation: the epoch engine's EPI tracks the cycle-level
+// simulator's EPI across workloads and configurations — the paper's
+// MLPsim-vs-cycle-sim methodology argument.
+func TestEpochEngineMatchesCycleSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation needs full runs")
+	}
+	const (
+		warm    = 150_000
+		measure = 250_000
+	)
+	for _, tc := range []struct {
+		name string
+		cfg  func() uarch.Config
+	}{
+		{"default-Sp1", func() uarch.Config { return uarch.Default() }},
+		{"Sp0", func() uarch.Config {
+			c := uarch.Default()
+			c.StorePrefetch = uarch.Sp0
+			return c
+		}},
+		{"WC", func() uarch.Config {
+			c := uarch.Default()
+			c.Model = consistency.WC
+			return c
+		}},
+	} {
+		for _, w := range []workload.Params{workload.TPCW(9), workload.SPECweb(9)} {
+			cfg := tc.cfg()
+			cfg.WarmInsts = warm
+
+			cs, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := sim.BuildSource(w, cfg, warm+measure)
+			cyc, err := cs.Run(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			eng, err := epoch.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src = sim.BuildSource(w, cfg, warm+measure)
+			ep, err := eng.Run(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ratio := ep.EPI() / cyc.EPI()
+			if math.IsNaN(ratio) || ratio < 0.55 || ratio > 1.8 {
+				t.Errorf("%s/%s: epoch EPI %.3f vs cycle EPI %.3f (ratio %.2f) out of band",
+					tc.name, w.Name, ep.EPI(), cyc.EPI(), ratio)
+			}
+		}
+	}
+}

@@ -1,0 +1,680 @@
+// Package epoch implements MLPsim: the epoch memory-level-parallelism
+// model of §3 of the paper, extended to model missing stores.
+//
+// The engine consumes a dynamic instruction stream in program order and
+// assigns every instruction integer-indexed epochs for fetch, dispatch,
+// execute, retire and (for stores) commit. Off-chip misses issued in
+// epoch e complete at the end of e; values they produce are usable in
+// e+1. Epoch assignments are maxima over the active constraints:
+// register and memory dependences, in-order fetch/dispatch/retire,
+// occupancy of the fetch buffer, issue window, ROB, store buffer, load
+// buffer and store queue, serializing-instruction drains, and the
+// memory consistency model's store-commit ordering. EPI is the number
+// of distinct epochs containing at least one off-chip miss, per
+// instruction.
+package epoch
+
+import (
+	"fmt"
+
+	"storemlp/internal/branch"
+	"storemlp/internal/cache"
+	"storemlp/internal/coherence"
+	"storemlp/internal/consistency"
+	"storemlp/internal/isa"
+	"storemlp/internal/smac"
+	"storemlp/internal/trace"
+	"storemlp/internal/uarch"
+)
+
+// retire-influence tags carried alongside the retire rings so that later
+// structure-full stalls can be classified "preceded by store queue full"
+// (Figure 3).
+const (
+	tagPlain uint8 = iota
+	tagSQ          // retirement was delayed by a full store queue
+	tagLoad        // retirement was delayed by a missing load
+)
+
+const termScanCap = 64 // max epochs labelled per stall (ranges are tiny in practice)
+
+type missKind uint8
+
+const (
+	kindLoad missKind = iota
+	kindStore
+	kindInst
+)
+
+type openStore struct {
+	idx int64 // instruction index at which the miss was issued
+	ep  int64 // epoch the miss was charged to
+}
+
+// Engine is one simulated core running the epoch MLP model.
+type Engine struct {
+	cfg  uarch.Config
+	hier *cache.Hierarchy
+	sm   *smac.SMAC
+	traf *coherence.Traffic
+	bp   *branch.Predictor // optional modelled front end
+
+	// Optional co-scheduled core sharing the L2 (pure cache pressure).
+	bgSrc  trace.Source
+	bgHier *cache.Hierarchy
+
+	// Scheduling state (all in epoch units).
+	regReady     [isa.RegCount]int64
+	fetchAvail   int64
+	lastDispatch int64
+	lastRetire   int64
+	serialBar    int64 // all later instructions execute at or after this
+
+	robRing *ring
+	fbRing  *ring
+	sbRing  *ring
+	lbRing  *ring
+	iw      *occupancy
+	sq      *occupancy
+
+	prevCommitDone int64 // PC in-order commit chain
+	maxCommitDone  int64 // serializer store-drain target
+	lwsyncFloor    int64 // WC: commits ordered after this epoch
+
+	// Store coalescing.
+	coalAddr  uint64
+	coalDone  int64
+	coalValid bool
+	coalWC    map[uint64]int64
+
+	// Scout window (Hardware Scout and prefetch-past-serializing).
+	scoutUntil  int64
+	scoutEpoch  int64
+	scoutStores bool
+
+	// Fully-overlapped-store tracking (Table 2).
+	open     []openStore
+	openHead int
+	window   int64
+
+	lastLoadMissEpoch int64
+
+	idx  int64
+	warm int64
+	recs map[int64]*epochRec
+
+	// Baselines snapshotted when measurement starts so warmup and
+	// prewarming are excluded from substrate statistics.
+	hierBase  cache.HierarchyStats
+	smacBase  smac.Stats
+	snoopBase int64
+
+	stats Stats
+}
+
+// Option configures an Engine.
+type Option func(*Engine) error
+
+// WithSharedCore attaches a second core's instruction stream to the
+// shared L2 — the paper's CMP configuration has two cores per L2. The
+// co-runner advances one instruction per simulated instruction and
+// exerts pure cache pressure (its own pipeline is not modelled): its
+// accesses go through private L1s into the shared L2, and its Modified
+// evictions feed the SMAC like the primary core's.
+func WithSharedCore(src trace.Source) Option {
+	return func(e *Engine) error {
+		if src == nil {
+			return fmt.Errorf("epoch: nil shared-core source")
+		}
+		e.bgSrc = src
+		e.bgHier = cache.NewSharedHierarchy(e.cfg.Hierarchy, e.hier.L2)
+		if e.sm != nil {
+			e.bgHier.OnL2Evict = e.hier.OnL2Evict
+		}
+		return nil
+	}
+}
+
+// WithTraffic attaches remote-node coherence traffic (Figure 6).
+func WithTraffic(spec coherence.TrafficSpec, seed int64) Option {
+	return func(e *Engine) error {
+		t, err := coherence.NewTraffic(spec, e.cfg.Nodes, seed, nil)
+		if err != nil {
+			return err
+		}
+		t.SetHandler(e.onSnoop)
+		e.traf = t
+		return nil
+	}
+}
+
+// New builds an engine for the given machine configuration.
+func New(cfg uarch.Config, opts ...Option) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:               cfg,
+		hier:              cache.NewHierarchy(cfg.Hierarchy),
+		robRing:           newRing(cfg.ROB),
+		fbRing:            newRing(cfg.FetchBuffer),
+		sbRing:            newRing(cfg.StoreBuffer),
+		lbRing:            newRing(cfg.LoadBuffer),
+		iw:                newOccupancy(cfg.IssueWindow),
+		sq:                newOccupancy(cfg.StoreQueue),
+		recs:              make(map[int64]*epochRec),
+		warm:              cfg.WarmInsts,
+		window:            cfg.OverlapWindow(),
+		lastLoadMissEpoch: -1,
+	}
+	if cfg.Model == consistency.WC {
+		e.coalWC = make(map[uint64]int64)
+	}
+	if cfg.ModelBranchPredictor {
+		e.bp = branch.New(cfg.BranchConfig())
+	}
+	if cfg.SMACEntries > 0 {
+		e.sm = smac.New(cfg.SMACParams())
+		e.hier.OnL2Evict = func(addr uint64, st cache.MESI) {
+			if st == cache.Modified {
+				e.sm.RecordEviction(addr)
+			}
+		}
+	}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// stepSharedCore advances the co-scheduled core by one instruction.
+func (e *Engine) stepSharedCore() {
+	if e.bgSrc == nil {
+		return
+	}
+	in, ok := e.bgSrc.Next()
+	if !ok {
+		e.bgSrc = nil
+		return
+	}
+	e.bgHier.Fetch(in.PC)
+	shared := in.Flags.Has(isa.FlagShared)
+	if in.Op.IsLoad() {
+		e.bgHier.Load(in.Addr, shared)
+	}
+	if in.Op.IsStore() {
+		e.bgHier.Store(in.Addr, shared)
+	}
+}
+
+func (e *Engine) onSnoop(s coherence.Snoop) {
+	if s.Kind == coherence.SnoopRTO {
+		e.hier.SnoopInvalidate(s.Addr)
+	} else {
+		e.hier.SnoopShared(s.Addr)
+	}
+	// Any snoop that hits the SMAC invalidates the sub-block (§3.3.3).
+	e.sm.SnoopInvalidate(s.Addr)
+}
+
+// Run drives the engine over the instruction stream and returns the
+// accumulated statistics.
+func (e *Engine) Run(src trace.Source) (*Stats, error) {
+	if src == nil {
+		return nil, fmt.Errorf("epoch: nil trace source")
+	}
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		e.step(in)
+	}
+	e.finalize()
+	return &e.stats, nil
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (e *Engine) rec(ep int64) *epochRec {
+	r := e.recs[ep]
+	if r == nil {
+		r = &epochRec{}
+		e.recs[ep] = r
+	}
+	return r
+}
+
+func (e *Engine) charge(ep int64, kind missKind, measuring bool) {
+	if !measuring {
+		return
+	}
+	r := e.rec(ep)
+	switch kind {
+	case kindLoad:
+		r.loadMisses++
+	case kindStore:
+		r.storeMisses++
+	case kindInst:
+		r.instMisses++
+	}
+}
+
+// setTermRange labels existing epochs in [from,to) with the termination
+// condition, first cause winning.
+func (e *Engine) setTermRange(from, to int64, cond TermCond) {
+	if to > from+termScanCap {
+		to = from + termScanCap
+	}
+	for ep := from; ep < to; ep++ {
+		if r, ok := e.recs[ep]; ok && r.term == TermNone {
+			r.term = cond
+		}
+	}
+}
+
+// expose marks all open store misses younger than the overlap window as
+// exposed: the processor stalled while they were in the store queue.
+func (e *Engine) expose(idx int64, measuring bool) {
+	e.drainOverlapped(idx)
+	for e.openHead < len(e.open) {
+		e.open[e.openHead] = openStore{}
+		e.openHead++
+		e.stats.ExposedStores++
+	}
+	e.compactOpen()
+	_ = measuring
+}
+
+// drainOverlapped retires open store misses that survived a full overlap
+// window without any stall: they were fully hidden by computation and
+// their miss is removed from epoch accounting (Table 2 adjustment).
+func (e *Engine) drainOverlapped(idx int64) {
+	for e.openHead < len(e.open) && idx-e.open[e.openHead].idx >= e.window {
+		s := e.open[e.openHead]
+		e.open[e.openHead] = openStore{}
+		e.openHead++
+		e.stats.OverlappedStores++
+		if r, ok := e.recs[s.ep]; ok && r.storeMisses > 0 {
+			r.storeMisses--
+		}
+	}
+	e.compactOpen()
+}
+
+func (e *Engine) compactOpen() {
+	if e.openHead == len(e.open) {
+		e.open = e.open[:0]
+		e.openHead = 0
+	} else if e.openHead > 1024 {
+		n := copy(e.open, e.open[e.openHead:])
+		e.open = e.open[:n]
+		e.openHead = 0
+	}
+}
+
+func (e *Engine) chargeStore(ep, idx int64, measuring bool) {
+	e.charge(ep, kindStore, measuring)
+	if measuring {
+		e.open = append(e.open, openStore{idx: idx, ep: ep})
+	}
+}
+
+// startScout opens (or extends) a scout window: instructions up to
+// reach beyond idx may have their misses prefetched in epoch ep.
+func (e *Engine) startScout(idx, ep int64, reach int, stores bool) {
+	until := idx + int64(reach)
+	if idx >= e.scoutUntil {
+		e.scoutUntil, e.scoutEpoch, e.scoutStores = until, ep, stores
+		return
+	}
+	if until > e.scoutUntil {
+		e.scoutUntil = until
+	}
+	if ep < e.scoutEpoch {
+		e.scoutEpoch = ep
+	}
+	e.scoutStores = e.scoutStores || stores
+}
+
+func (e *Engine) scoutActive(idx int64) bool { return idx < e.scoutUntil }
+
+// addrReadyBy reports whether the instruction's source registers are
+// available at or before epoch ep — i.e. a scout could compute its
+// address without depending on an outstanding miss.
+func (e *Engine) addrReadyBy(in isa.Inst, ep int64) bool {
+	return e.regReady[in.Src1] <= ep && e.regReady[in.Src2] <= ep
+}
+
+func (e *Engine) step(in isa.Inst) {
+	idx := e.idx
+	e.idx++
+	measuring := idx >= e.warm
+	if idx == e.warm {
+		e.snapshotBaselines()
+	}
+	e.traf.Advance(1)
+	e.stepSharedCore()
+	e.drainOverlapped(idx)
+
+	perfect := e.cfg.PerfectStores
+	shared := in.Flags.Has(isa.FlagShared)
+
+	// ---------------- fetch ----------------
+	f := e.fetchAvail
+	if c, _ := e.fbRing.oldest(); c > f {
+		f = c // fetch buffer full: folded into in-order fetch delay
+	}
+	fr := e.hier.Fetch(in.PC)
+	instAvail := f
+	if fr.OffChip {
+		if e.scoutActive(idx) {
+			ep := e.scoutEpoch
+			if f < ep {
+				ep = f
+			}
+			e.charge(ep, kindInst, measuring)
+			e.hier.Stats.L2PrefetchReqs++
+			e.fetchAvail = maxi(f, ep+1)
+		} else {
+			e.charge(f, kindInst, measuring)
+			e.setTermRange(f, f+1, TermInstMiss)
+			e.expose(idx, measuring)
+			e.fetchAvail = f + 1
+		}
+		instAvail = e.fetchAvail
+	} else {
+		e.fetchAvail = f
+	}
+
+	// ---------------- dispatch ----------------
+	d := maxi(instAvail, e.lastDispatch)
+	if c, tag := e.robRing.oldest(); c > d {
+		cond := TermWindowFull
+		if tag == tagSQ {
+			cond = TermSQWindowFull
+			if e.cfg.HWS.TriggersOnStoreStall() {
+				e.startScout(idx, d, e.cfg.EffectiveScoutReach(), true)
+			}
+		}
+		e.setTermRange(d, c, cond)
+		e.expose(idx, measuring)
+		d = c
+	}
+	if d2 := e.iw.admit(d); d2 > d {
+		e.setTermRange(d, d2, TermWindowFull)
+		e.expose(idx, measuring)
+		d = d2
+	}
+	if in.Op.IsStore() && !perfect {
+		if c, tag := e.sbRing.oldest(); c > d {
+			cond := TermSBFull
+			if tag == tagSQ {
+				cond = TermSQSBFull
+				if e.cfg.HWS.TriggersOnStoreStall() {
+					e.startScout(idx, d, e.cfg.EffectiveScoutReach(), true)
+				}
+			}
+			e.setTermRange(d, c, cond)
+			e.expose(idx, measuring)
+			d = c
+		}
+	}
+	if in.Op.IsLoad() {
+		if c, _ := e.lbRing.oldest(); c > d {
+			e.setTermRange(d, c, TermWindowFull)
+			d = c
+		}
+	}
+	e.lastDispatch = d
+
+	// ---------------- execute ----------------
+	x := maxi(d, e.serialBar)
+	if r := e.regReady[in.Src1]; r > x {
+		x = r
+	}
+	if r := e.regReady[in.Src2]; r > x {
+		x = r
+	}
+
+	comp := x
+	retireTag := tagPlain
+
+	switch {
+	case in.Op == isa.OpLWSync:
+		// Orders later store commits after earlier ones without
+		// stalling execution.
+		if e.maxCommitDone > e.lwsyncFloor {
+			e.lwsyncFloor = e.maxCommitDone
+		}
+
+	case in.Serializing():
+		x, comp = e.execSerializer(in, idx, x, measuring)
+		if in.Dst != 0 {
+			e.regReady[in.Dst] = comp
+		}
+
+	case in.Op == isa.OpLoad || in.Op == isa.OpLoadLocked:
+		res := e.hier.Load(in.Addr, shared)
+		if res.OffChip {
+			if e.scoutActive(idx) && x > e.scoutEpoch && e.addrReadyBy(in, e.scoutEpoch) {
+				// Scout prefetched this miss during the trigger's epoch.
+				e.charge(e.scoutEpoch, kindLoad, measuring)
+				e.hier.Stats.L2PrefetchReqs++
+			} else {
+				e.charge(x, kindLoad, measuring)
+				e.lastLoadMissEpoch = x
+				comp = x + 1
+				retireTag = tagLoad
+				// Note: the load miss itself is not an exposure event for
+				// open stores — the stall it causes surfaces later as a
+				// structural (ROB/window) bind, which is.
+				if e.cfg.HWS != uarch.NoHWS {
+					e.startScout(idx, x, e.cfg.EffectiveScoutReach(), e.cfg.HWS.PrefetchesStores())
+				}
+			}
+		}
+		if in.Dst != 0 {
+			e.regReady[in.Dst] = comp
+		}
+
+	case in.Op.IsStore():
+		var r int64
+		r, retireTag = e.commitStore(in, idx, x, measuring, shared)
+		comp = r
+
+	case in.Op == isa.OpBranch:
+		mispredicted := in.Flags.Has(isa.FlagMispredict)
+		if e.bp != nil {
+			// Synthetic branches have no real targets; fall-through+64
+			// stands in so the BTB has something to learn.
+			mispredicted = e.bp.Update(in.PC, in.Flags.Has(isa.FlagTaken), in.PC+64)
+		}
+		if mispredicted && x > e.fetchAvail {
+			// Unresolvable misprediction: fetch stalls until the branch's
+			// (miss-fed) source resolves.
+			e.setTermRange(e.fetchAvail, x, TermMispredBranch)
+			e.expose(idx, measuring)
+			e.fetchAvail = x
+		}
+
+	default: // ALU
+		if in.Dst != 0 {
+			e.regReady[in.Dst] = x
+		}
+	}
+
+	// ---------------- retire ----------------
+	retire := maxi(e.lastRetire, comp)
+	e.lastRetire = retire
+	e.robRing.push(retire, retireTag)
+	e.fbRing.push(d, tagPlain)
+	e.iw.push(x)
+	if in.Op.IsStore() && !perfect {
+		e.sbRing.push(retire, retireTag)
+	}
+	if in.Op.IsLoad() {
+		e.lbRing.push(retire, tagPlain)
+	}
+	if measuring {
+		e.stats.Insts++
+	}
+}
+
+// execSerializer handles casa, membar (PC) and isync (WC): the pipeline
+// drains, and under PC all earlier stores must also commit. casa then
+// performs its atomic memory access. Returns the execute epoch and the
+// completion epoch, and raises the serialization barrier.
+func (e *Engine) execSerializer(in isa.Inst, idx, x int64, measuring bool) (int64, int64) {
+	perfect := e.cfg.PerfectStores
+
+	// Pipeline drain: all earlier instructions retired.
+	if e.lastRetire > x {
+		cond := TermStoreSerialize
+		if e.lastLoadMissEpoch >= x {
+			cond = TermOtherSerialize
+		}
+		e.setTermRange(x, e.lastRetire, cond)
+		x = e.lastRetire
+	}
+	// Store drain under PC: all earlier stores committed.
+	if e.cfg.Model.DrainsStoresOnSerialize() && in.Op != isa.OpISync && !perfect {
+		if e.maxCommitDone > x {
+			cond := TermStoreSerialize
+			if e.lastLoadMissEpoch >= x {
+				cond = TermOtherSerialize
+			}
+			e.setTermRange(x, e.maxCommitDone, cond)
+			e.expose(idx, measuring)
+			if e.cfg.PrefetchPastSerializing {
+				e.startScout(idx, x, e.cfg.ROB, true)
+			}
+			if e.cfg.HWS.TriggersOnStoreStall() {
+				// During a store-drain serialization stall dispatch is
+				// stopped just as on store-queue-full, so the HWS2
+				// store-stall trigger applies here too.
+				e.startScout(idx, x, e.cfg.EffectiveScoutReach(), true)
+			}
+			x = e.maxCommitDone
+		}
+	}
+
+	comp := x
+	if in.Op == isa.OpCASA {
+		// Atomic load+store to the lock word: needs ownership.
+		res := e.hier.Store(in.Addr, in.Flags.Has(isa.FlagShared))
+		if res.OffChip && !perfect {
+			if e.sm.ProbeStore(in.Addr) == smac.Hit {
+				e.stats.SMACAccelerated++
+			} else {
+				e.charge(x, kindStore, measuring)
+				e.stats.ExposedStores++ // the processor waits on it by definition
+				comp = x + 1
+			}
+		}
+		if e.cfg.Model.InOrderCommit() && !perfect {
+			if comp > e.prevCommitDone {
+				e.prevCommitDone = comp
+			}
+			if comp > e.maxCommitDone {
+				e.maxCommitDone = comp
+			}
+		}
+	}
+	if comp > e.serialBar {
+		e.serialBar = comp
+	}
+	return x, comp
+}
+
+// Hierarchy exposes the engine's cache hierarchy so tests and examples
+// can pre-warm lines and inspect state.
+func (e *Engine) Hierarchy() *cache.Hierarchy { return e.hier }
+
+// SMAC exposes the store-miss accelerator; nil when not configured.
+func (e *Engine) SMAC() *smac.SMAC { return e.sm }
+
+func (e *Engine) finalize() {
+	// Stores that aged past the overlap window without a stall are fully
+	// overlapped; anything still open at end of trace is conservatively
+	// counted as exposed (its fate is unknowable).
+	e.drainOverlapped(e.idx)
+	e.expose(e.idx, true)
+	for _, r := range e.recs {
+		m := r.misses()
+		if m <= 0 {
+			continue
+		}
+		e.stats.Epochs++
+		e.stats.StoreMisses += int64(r.storeMisses)
+		e.stats.LoadMisses += int64(r.loadMisses)
+		e.stats.InstMisses += int64(r.instMisses)
+		sb := int(r.storeMisses)
+		if sb > MaxStoreMLPBucket {
+			sb = MaxStoreMLPBucket
+		}
+		lb := int(r.loadMisses + r.instMisses)
+		if lb > MaxLoadInstBucket {
+			lb = MaxLoadInstBucket
+		}
+		e.stats.MLPJoint[sb][lb]++
+		if r.storeMisses > 0 {
+			e.stats.EpochsWithStore++
+			e.stats.storeMLPSum += int64(r.storeMisses)
+			e.stats.TermCounts[r.term]++
+		}
+	}
+	e.stats.Hierarchy = subHier(e.hier.Stats, e.hierBase)
+	if e.sm != nil {
+		e.stats.SMAC = subSMAC(e.sm.Stats, e.smacBase)
+	}
+	if e.traf != nil {
+		e.stats.Snoops = e.traf.Delivered - e.snoopBase
+	}
+}
+
+// snapshotBaselines records substrate counters at the moment measurement
+// begins, so that prewarming and the warmup prefix are excluded.
+func (e *Engine) snapshotBaselines() {
+	e.hierBase = e.hier.Stats
+	if e.sm != nil {
+		e.smacBase = e.sm.Stats
+	}
+	if e.traf != nil {
+		e.snoopBase = e.traf.Delivered
+	}
+}
+
+func subHier(a, b cache.HierarchyStats) cache.HierarchyStats {
+	return cache.HierarchyStats{
+		Fetches:        a.Fetches - b.Fetches,
+		FetchOffChip:   a.FetchOffChip - b.FetchOffChip,
+		Loads:          a.Loads - b.Loads,
+		LoadOffChip:    a.LoadOffChip - b.LoadOffChip,
+		Stores:         a.Stores - b.Stores,
+		StoreOffChip:   a.StoreOffChip - b.StoreOffChip,
+		StoreUpgrades:  a.StoreUpgrades - b.StoreUpgrades,
+		TLBMisses:      a.TLBMisses - b.TLBMisses,
+		L2StoreTraffic: a.L2StoreTraffic - b.L2StoreTraffic,
+		L2PrefetchReqs: a.L2PrefetchReqs - b.L2PrefetchReqs,
+	}
+}
+
+func subSMAC(a, b smac.Stats) smac.Stats {
+	return smac.Stats{
+		Evictions:            a.Evictions - b.Evictions,
+		Probes:               a.Probes - b.Probes,
+		Hits:                 a.Hits - b.Hits,
+		HitInvalidated:       a.HitInvalidated - b.HitInvalidated,
+		Misses:               a.Misses - b.Misses,
+		CoherenceInvalidates: a.CoherenceInvalidates - b.CoherenceInvalidates,
+		EntryEvictions:       a.EntryEvictions - b.EntryEvictions,
+	}
+}

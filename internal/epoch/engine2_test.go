@@ -1,0 +1,430 @@
+package epoch
+
+// Behavioral tests beyond the paper's worked examples: structural
+// limits, weak-consistency commit semantics, scout window mechanics,
+// coherence interaction, and accounting invariants.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"storemlp/internal/coherence"
+	"storemlp/internal/consistency"
+	"storemlp/internal/isa"
+	"storemlp/internal/trace"
+	"storemlp/internal/uarch"
+)
+
+// TestIssueWindowLimit: with a tiny issue window, instructions stuck
+// behind a missing load's dependents throttle dispatch.
+func TestIssueWindowLimit(t *testing.T) {
+	cfg := exCfg()
+	cfg.IssueWindow = 4
+	cfg.ROB = 64
+	// A missing load, then dependents filling the issue window, then an
+	// independent missing load. The IW (not the ROB) forces the second
+	// load into a later epoch.
+	first := ld(cold(0))
+	first.Dst = 5
+	insts := []isa.Inst{first}
+	for i := 0; i < 8; i++ {
+		insts = append(insts, isa.Inst{Op: isa.OpALU, PC: hotPC, Dst: 6, Src1: 5})
+	}
+	insts = append(insts, ld(cold(1)))
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 2 {
+		t.Errorf("Epochs = %d, want 2 (IW-limited)", s.Epochs)
+	}
+	// With a large issue window the second load overlaps the first.
+	cfg.IssueWindow = 32
+	s = runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("Epochs = %d, want 1 (IW no longer binding)", s.Epochs)
+	}
+}
+
+// TestLoadBufferLimit: loads occupy the load buffer from dispatch to
+// retire; a full buffer delays later loads.
+func TestLoadBufferLimit(t *testing.T) {
+	cfg := exCfg()
+	cfg.LoadBuffer = 2
+	insts := []isa.Inst{
+		ld(cold(0)), // missing: retires next epoch
+		ld(hot(0)),  // hit but retires behind the miss
+		ld(hot(1)),  // needs a load-buffer slot -> waits
+		ld(cold(1)), // also delayed by the buffer
+	}
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 2 {
+		t.Errorf("LB=2: Epochs = %d, want 2", s.Epochs)
+	}
+	cfg.LoadBuffer = 64
+	s = runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("LB=64: Epochs = %d, want 1", s.Epochs)
+	}
+}
+
+// TestROBLimit: a missing load at the ROB head lets only ROB-many more
+// instructions dispatch.
+func TestROBLimit(t *testing.T) {
+	cfg := exCfg()
+	cfg.ROB = 8
+	var insts []isa.Inst
+	insts = append(insts, ld(cold(0)))
+	for i := 0; i < 20; i++ {
+		insts = append(insts, alu())
+	}
+	insts = append(insts, ld(cold(1)))
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 2 {
+		t.Errorf("ROB=8: Epochs = %d, want 2", s.Epochs)
+	}
+	cfg.ROB = 64
+	s = runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("ROB=64: Epochs = %d, want 1", s.Epochs)
+	}
+}
+
+// TestWCLWSyncOrdersCommits: under WC, lwsync forces stores after the
+// barrier to commit after stores before it — so a missing store before
+// the barrier delays a missing store after it, serializing their epochs
+// under Sp0.
+func TestWCLWSyncOrdersCommits(t *testing.T) {
+	cfg := exCfg()
+	cfg.Model = consistency.WC
+	withBarrier := []isa.Inst{
+		st(cold(0)),
+		{Op: isa.OpLWSync, PC: hotPC},
+		st(cold(1)),
+	}
+	s := runTrace(t, cfg, withBarrier)
+	if s.Epochs != 2 {
+		t.Errorf("with lwsync: Epochs = %d, want 2 (ordered commits)", s.Epochs)
+	}
+	// Without the barrier both misses issue independently... under Sp0
+	// the issue epoch is the commit epoch, which for WC has no ordering
+	// dependence, so they overlap.
+	without := []isa.Inst{st(cold(0)), st(cold(1))}
+	s = runTrace(t, cfg, without)
+	if s.Epochs != 1 {
+		t.Errorf("without lwsync: Epochs = %d, want 1", s.Epochs)
+	}
+}
+
+// TestWCStoreQueueReleasesOutOfOrder: hitting stores behind a missing
+// store release their SQ entries immediately under WC, so the queue
+// never backs up (Example 1's WC discussion).
+func TestWCStoreQueueReleasesOutOfOrder(t *testing.T) {
+	cfg := exCfg()
+	cfg.Model = consistency.WC
+	cfg.StoreQueue = 2
+	var insts []isa.Inst
+	insts = append(insts, st(cold(0)))
+	for i := 0; i < 12; i++ {
+		insts = append(insts, st(hot(i%8)))
+	}
+	insts = append(insts, ld(cold(1)))
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("WC: Epochs = %d, want 1 (no SQ backup)", s.Epochs)
+	}
+	if s.TermCounts[TermSQSBFull] != 0 {
+		t.Errorf("WC should not hit SQ+SB-full: %v", s.TermCounts)
+	}
+}
+
+// TestHWS0DoesNotPrefetchStores: scout in HWS0 mode prefetches loads and
+// instructions only; store misses still serialize.
+func TestHWS0DoesNotPrefetchStores(t *testing.T) {
+	// Missing load triggers scout; two missing stores follow (Sp0).
+	insts := []isa.Inst{ld(cold(0)), st(cold(1)), st(cold(2)), membar()}
+	cfg := exCfg()
+	cfg.HWS = uarch.HWS0
+	s0 := runTrace(t, cfg, insts)
+	cfg.HWS = uarch.HWS1
+	s1 := runTrace(t, cfg, insts)
+	if s1.Epochs >= s0.Epochs {
+		t.Errorf("HWS1 (%d epochs) should beat HWS0 (%d) when stores miss",
+			s1.Epochs, s0.Epochs)
+	}
+}
+
+// TestScoutWindowExtends: overlapping scout triggers extend the window
+// rather than truncating it.
+func TestScoutWindowExtends(t *testing.T) {
+	cfg := exCfg()
+	cfg.HWS = uarch.HWS0
+	cfg.ScoutReach = 30
+	var insts []isa.Inst
+	insts = append(insts, ld(cold(0))) // trigger 1
+	for i := 0; i < 20; i++ {
+		insts = append(insts, alu())
+	}
+	insts = append(insts, ld(cold(1))) // trigger 2 inside window: extends
+	for i := 0; i < 20; i++ {
+		insts = append(insts, alu())
+	}
+	// 41 instructions from trigger 1: outside its window but inside the
+	// extension from trigger 2.
+	insts = append(insts, ld(cold(2)))
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("Epochs = %d, want 1 (extended scout window)", s.Epochs)
+	}
+}
+
+// TestCASAMissSerializes: a casa to a cold (unowned) line is itself an
+// off-chip store miss and delays everything after it.
+func TestCASAMissSerializes(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpCASA, PC: hotPC, Addr: cold(0), Size: 8, Dst: 1},
+		ld(cold(1)),
+	}
+	s := runTrace(t, exCfg(), insts)
+	if s.Epochs != 2 {
+		t.Errorf("Epochs = %d, want 2", s.Epochs)
+	}
+	if s.StoreMisses != 1 {
+		t.Errorf("StoreMisses = %d, want 1 (the casa)", s.StoreMisses)
+	}
+	// The atomic's miss is exposed by definition.
+	if s.ExposedStores != 1 {
+		t.Errorf("ExposedStores = %d, want 1", s.ExposedStores)
+	}
+}
+
+// TestSharedStoreUpgradeMiss: a store to a Shared line needs a
+// cross-chip ownership upgrade — an off-chip miss even though the line
+// is resident.
+func TestSharedStoreUpgradeMiss(t *testing.T) {
+	cfg := exCfg()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Hierarchy().Fetch(hotPC)
+	e.Hierarchy().Load(0x300000, true) // fills Shared
+	insts := []isa.Inst{
+		{Op: isa.OpStore, PC: hotPC, Addr: 0x300000, Size: 8, Flags: isa.FlagShared},
+		membar(),
+	}
+	s, err := e.Run(trace.NewSlice(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StoreMisses != 1 {
+		t.Errorf("StoreMisses = %d, want 1 (upgrade)", s.StoreMisses)
+	}
+	if s.Hierarchy.StoreUpgrades != 1 {
+		t.Errorf("StoreUpgrades = %d, want 1", s.Hierarchy.StoreUpgrades)
+	}
+}
+
+// TestTrafficDemotesLines: remote snoops invalidate local lines, turning
+// later stores into misses.
+func TestTrafficDemotesLines(t *testing.T) {
+	spec := coherence.TrafficSpec{
+		Regions:           []coherence.Region{{Base: 0x500000, Size: 64}},
+		EventsPerKiloInst: 1000, // one snoop per instruction
+		StoreFraction:     1,
+		LineBytes:         64,
+	}
+	cfg := exCfg()
+	e, err := New(cfg, WithTraffic(spec, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Hierarchy().Fetch(hotPC)
+	e.Hierarchy().Store(0x500000, true) // owned before the run
+	insts := []isa.Inst{
+		alu(), alu(), // snoops arrive, invalidating 0x500000
+		{Op: isa.OpStore, PC: hotPC, Addr: 0x500000, Size: 8, Flags: isa.FlagShared},
+		membar(),
+	}
+	s, err := e.Run(trace.NewSlice(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Snoops == 0 {
+		t.Fatal("no snoops delivered")
+	}
+	if s.StoreMisses != 1 {
+		t.Errorf("StoreMisses = %d, want 1 (line stolen by remote node)", s.StoreMisses)
+	}
+}
+
+// TestPrefetchTrafficCounting: Sp1 issues one prefetch-for-write per
+// missing store; Sp0 issues none.
+func TestPrefetchTrafficCounting(t *testing.T) {
+	insts := []isa.Inst{st(cold(0)), st(cold(1)), membar()}
+	cfg := exCfg()
+	s := runTrace(t, cfg, insts) // Sp0
+	if s.Hierarchy.L2PrefetchReqs != 0 {
+		t.Errorf("Sp0 prefetch reqs = %d, want 0", s.Hierarchy.L2PrefetchReqs)
+	}
+	cfg.StorePrefetch = uarch.Sp1
+	s = runTrace(t, cfg, insts)
+	if s.Hierarchy.L2PrefetchReqs != 2 {
+		t.Errorf("Sp1 prefetch reqs = %d, want 2", s.Hierarchy.L2PrefetchReqs)
+	}
+}
+
+// TestPerfectStoresSkipsSerializerDrain: under perfect stores the
+// serializer does not wait for store commits.
+func TestPerfectStoresSkipsSerializerDrain(t *testing.T) {
+	cfg := exCfg()
+	cfg.PerfectStores = true
+	insts := []isa.Inst{st(cold(0)), membar(), ld(cold(1))}
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("Epochs = %d, want 1 (no store drain)", s.Epochs)
+	}
+	if s.TermCounts[TermStoreSerialize] != 0 {
+		t.Errorf("perfect stores should not record store-serialize: %v", s.TermCounts)
+	}
+}
+
+// TestMispredictWithoutLoadDependence: a mispredicted branch whose
+// source is ready resolves on-chip and terminates nothing.
+func TestMispredictWithoutLoadDependence(t *testing.T) {
+	insts := []isa.Inst{
+		st(cold(0)),
+		{Op: isa.OpBranch, PC: hotPC, Src1: 0, Flags: isa.FlagMispredict},
+		ld(cold(1)),
+	}
+	s := runTrace(t, exCfg(), insts)
+	if s.Epochs != 1 {
+		t.Errorf("Epochs = %d, want 1 (branch resolves on-chip)", s.Epochs)
+	}
+	if s.TermCounts[TermMispredBranch] != 0 {
+		t.Errorf("no mispred termination expected: %v", s.TermCounts)
+	}
+}
+
+// TestStoreMLPDefinition: store MLP averages store misses over epochs
+// with at least one store miss.
+func TestStoreMLPDefinition(t *testing.T) {
+	cfg := exCfg()
+	cfg.StorePrefetch = uarch.Sp1
+	cfg.StoreQueue = 8
+	// Epoch 1: two overlapped store misses. Epoch 2 (after serializer):
+	// one store miss. Store MLP = (2+1)/2 = 1.5.
+	insts := []isa.Inst{
+		st(cold(0)), st(cold(1)), membar(), st(cold(2)), membar(),
+	}
+	s := runTrace(t, cfg, insts)
+	if got := s.StoreMLP(); got != 1.5 {
+		t.Errorf("StoreMLP = %v, want 1.5", got)
+	}
+	if s.EpochsWithStore != 2 {
+		t.Errorf("EpochsWithStore = %d, want 2", s.EpochsWithStore)
+	}
+}
+
+// TestEPIAccountsDistinctEpochs: misses charged to the same epoch count
+// it once.
+func TestEPIAccountsDistinctEpochs(t *testing.T) {
+	cfg := exCfg()
+	cfg.StorePrefetch = uarch.Sp2
+	insts := []isa.Inst{st(cold(0)), st(cold(1)), ld(cold(2)), ld(cold(3))}
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("Epochs = %d, want 1", s.Epochs)
+	}
+	if s.Misses() != 4 {
+		t.Errorf("Misses = %d, want 4", s.Misses())
+	}
+	if got := s.MLP(); got != 4 {
+		t.Errorf("MLP = %v, want 4", got)
+	}
+}
+
+// TestUnflaggedCASAUnderWC: an atomic that is not part of a detected
+// lock still serializes the pipeline, but under WC it does not drain the
+// store queue.
+func TestUnflaggedCASAUnderWC(t *testing.T) {
+	insts := []isa.Inst{
+		st(cold(0)),
+		{Op: isa.OpCASA, PC: hotPC, Addr: lockA, Size: 8, Dst: 1},
+		ld(cold(1)),
+	}
+	pc := runTrace(t, exCfg(), insts)
+	wcCfg := exCfg()
+	wcCfg.Model = consistency.WC
+	wc := runTrace(t, wcCfg, insts)
+	if pc.Epochs != 2 {
+		t.Errorf("PC Epochs = %d, want 2 (casa drains the store)", pc.Epochs)
+	}
+	if wc.Epochs != 1 {
+		t.Errorf("WC Epochs = %d, want 1 (no store drain)", wc.Epochs)
+	}
+}
+
+// Property: total charged misses never exceed one per instruction plus
+// one fetch miss per instruction, and stats are internally consistent.
+func TestStatsConsistencyProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		cnt := int(n)%32 + 4
+		var insts []isa.Inst
+		for i := 0; i < cnt; i++ {
+			switch seed % 4 {
+			case 0:
+				insts = append(insts, st(cold(i)))
+			case 1:
+				insts = append(insts, ld(cold(i)))
+			case 2:
+				insts = append(insts, alu())
+			default:
+				insts = append(insts, membar())
+			}
+			seed = seed*1103515245 + 12345
+		}
+		s := runTrace(&testing.T{}, exCfg(), insts)
+		if s.Insts != int64(cnt) {
+			return false
+		}
+		if s.Misses() > 2*int64(cnt) {
+			return false
+		}
+		if s.Epochs > s.Misses() {
+			return false
+		}
+		if s.EpochsWithStore > s.Epochs {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFetchBufferLimit: the fetch buffer bounds fetched-but-undispatched
+// instructions; with a stalled dispatch (missing load + tiny ROB) a tiny
+// fetch buffer delays fetch of later instructions — visible as later
+// issue of an independent instruction fetch miss.
+func TestFetchBufferLimit(t *testing.T) {
+	cfg := exCfg()
+	cfg.ROB = 4
+	cfg.FetchBuffer = 4
+	var insts []isa.Inst
+	insts = append(insts, ld(cold(0)))
+	for i := 0; i < 12; i++ {
+		insts = append(insts, alu())
+	}
+	// This instruction's fetch misses; with small FB+ROB it cannot even
+	// be fetched during the first epoch.
+	insts = append(insts, isa.Inst{Op: isa.OpALU, PC: coldPC})
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 2 {
+		t.Errorf("FB=4: Epochs = %d, want 2", s.Epochs)
+	}
+	cfg.FetchBuffer = 32
+	cfg.ROB = 64
+	s = runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("FB=32: Epochs = %d, want 1 (fetch runs ahead)", s.Epochs)
+	}
+}

@@ -1,0 +1,592 @@
+package epoch
+
+// The tests in this file encode the paper's worked Examples 1-6 (§3) as
+// golden tests of the epoch engine's semantics, using the same two-entry
+// store buffer and store queue the examples assume.
+
+import (
+	"testing"
+
+	"storemlp/internal/consistency"
+	"storemlp/internal/isa"
+	"storemlp/internal/trace"
+	"storemlp/internal/uarch"
+)
+
+const (
+	hotPC  = uint64(0x1000)
+	coldPC = uint64(0x7f0000)
+	lockA  = uint64(0x2000)
+)
+
+// hot data addresses (prewarmed Modified in L2, so loads and stores hit)
+func hot(i int) uint64 { return 0x20000 + uint64(i)*64 }
+
+// cold data addresses (never prewarmed: always off-chip)
+func cold(i int) uint64 { return 0x40000000 + uint64(i)*64 }
+
+func exCfg() uarch.Config {
+	c := uarch.Default()
+	c.StoreBuffer = 2
+	c.StoreQueue = 2
+	c.StorePrefetch = uarch.Sp0
+	c.CoalesceBytes = 0
+	return c
+}
+
+// runTrace builds an engine, prewarms the hot lines, and runs the given
+// instructions.
+func runTrace(t *testing.T, cfg uarch.Config, insts []isa.Inst, opts ...Option) *Stats {
+	t.Helper()
+	e, err := New(cfg, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h := e.Hierarchy()
+	h.Fetch(hotPC)
+	h.Store(lockA, false)
+	for i := 0; i < 16; i++ {
+		h.Store(hot(i), false)
+	}
+	stats, err := e.Run(trace.NewSlice(insts))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return stats
+}
+
+func st(addr uint64) isa.Inst { return isa.Inst{Op: isa.OpStore, PC: hotPC, Addr: addr, Size: 8} }
+func ld(addr uint64) isa.Inst { return isa.Inst{Op: isa.OpLoad, PC: hotPC, Addr: addr, Size: 8} }
+func alu() isa.Inst           { return isa.Inst{Op: isa.OpALU, PC: hotPC} }
+func membar() isa.Inst        { return isa.Inst{Op: isa.OpMembar, PC: hotPC} }
+
+// Example 1: missing store; 4 hitting stores; missing load. SB=SQ=2, PC.
+// Paper: epoch sets {{I1}, {I2..I6}} — two epochs, the first terminated
+// by store-buffer-full preceded by store-queue-full.
+func TestExample1PC(t *testing.T) {
+	insts := []isa.Inst{
+		st(cold(0)), st(hot(0)), st(hot(1)), st(hot(2)), st(hot(3)), ld(cold(1)),
+	}
+	s := runTrace(t, exCfg(), insts)
+	if s.Epochs != 2 {
+		t.Errorf("Epochs = %d, want 2", s.Epochs)
+	}
+	if s.StoreMisses != 1 || s.LoadMisses != 1 || s.InstMisses != 0 {
+		t.Errorf("misses = %d/%d/%d", s.StoreMisses, s.LoadMisses, s.InstMisses)
+	}
+	if s.EpochsWithStore != 1 {
+		t.Errorf("EpochsWithStore = %d", s.EpochsWithStore)
+	}
+	if s.TermCounts[TermSQSBFull] != 1 {
+		t.Errorf("TermCounts = %v; want SQ+SB-full on the store epoch", s.TermCounts)
+	}
+	if got := s.MLP(); got != 1 {
+		t.Errorf("MLP = %v, want 1", got)
+	}
+}
+
+// Example 1 under WC: out-of-order commit lets the hitting stores
+// release their queue entries past the missing store, so the missing
+// load issues in the first epoch — one epoch instead of two.
+func TestExample1WC(t *testing.T) {
+	cfg := exCfg()
+	cfg.Model = consistency.WC
+	insts := []isa.Inst{
+		st(cold(0)), st(hot(0)), st(hot(1)), st(hot(2)), st(hot(3)), ld(cold(1)),
+	}
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("Epochs = %d, want 1 (WC overlaps the load with the store)", s.Epochs)
+	}
+	if s.Misses() != 2 {
+		t.Errorf("misses = %d, want 2", s.Misses())
+	}
+}
+
+// Example 2: missing store; serializing instruction; missing load.
+// Paper: epoch sets {{I1}, {I2, I3}} — the serializer drains the store
+// queue, so the load's miss lands in the second epoch.
+func TestExample2(t *testing.T) {
+	insts := []isa.Inst{st(cold(0)), membar(), ld(cold(1))}
+	s := runTrace(t, exCfg(), insts)
+	if s.Epochs != 2 {
+		t.Errorf("Epochs = %d, want 2", s.Epochs)
+	}
+	if s.TermCounts[TermStoreSerialize] != 1 {
+		t.Errorf("TermCounts = %v; want store-serialize", s.TermCounts)
+	}
+}
+
+// Example 3: missing load; missing store; missing instruction; missing
+// store. Paper: epoch sets {{I1,I3},{I2,I3},{I4}} — three epochs, four
+// misses, MLP = 1.33.
+func TestExample3(t *testing.T) {
+	insts := []isa.Inst{
+		ld(cold(0)),
+		st(cold(1)),
+		{Op: isa.OpALU, PC: coldPC}, // instruction fetch miss
+		{Op: isa.OpStore, PC: coldPC + 4, Addr: cold(2), Size: 8},
+	}
+	s := runTrace(t, exCfg(), insts)
+	if s.Epochs != 3 {
+		t.Errorf("Epochs = %d, want 3", s.Epochs)
+	}
+	if s.LoadMisses != 1 || s.StoreMisses != 2 || s.InstMisses != 1 {
+		t.Errorf("misses = %d/%d/%d", s.LoadMisses, s.StoreMisses, s.InstMisses)
+	}
+	if got := s.MLP(); got < 1.32 || got > 1.34 {
+		t.Errorf("MLP = %v, want 1.33", got)
+	}
+	// With prefetch-at-retire both store misses overlap into one epoch.
+	cfg := exCfg()
+	cfg.StorePrefetch = uarch.Sp1
+	s = runTrace(t, cfg, insts)
+	if s.Epochs != 2 {
+		t.Errorf("Sp1 Epochs = %d, want 2", s.Epochs)
+	}
+}
+
+// Example 4: three missing stores then a serializer, SQ=2.
+// Paper: Sp0 -> {{I1},{I2},{I3}}; Sp1 -> {{I1,I2},{I3}}; Sp2 -> {{I1,I2,I3}}.
+func TestExample4PrefetchModes(t *testing.T) {
+	insts := []isa.Inst{st(cold(0)), st(cold(1)), st(cold(2)), membar()}
+	for _, tc := range []struct {
+		mode   uarch.PrefetchMode
+		epochs int64
+	}{
+		{uarch.Sp0, 3},
+		{uarch.Sp1, 2},
+		{uarch.Sp2, 1},
+	} {
+		cfg := exCfg()
+		cfg.StorePrefetch = tc.mode
+		s := runTrace(t, cfg, insts)
+		if s.Epochs != tc.epochs {
+			t.Errorf("%v: Epochs = %d, want %d", tc.mode, s.Epochs, tc.epochs)
+		}
+		if s.StoreMisses != 3 {
+			t.Errorf("%v: StoreMisses = %d, want 3", tc.mode, s.StoreMisses)
+		}
+	}
+}
+
+// Example 5 (PC critical section): the casa waits for the missing store
+// to drain; the critical-section load, the store inside it, and the load
+// after the section all overlap in the second epoch.
+func TestExample5PC(t *testing.T) {
+	cfg := exCfg()
+	cfg.StorePrefetch = uarch.Sp2
+	insts := []isa.Inst{
+		st(cold(0)), // I1 missing store
+		{Op: isa.OpCASA, PC: hotPC, Addr: lockA, Size: 8, Dst: 1, Flags: isa.FlagLockAcquire}, // I2
+		ld(cold(1)), // I3 missing load
+		st(cold(2)), // I4 missing store
+		alu(),       // I5
+		{Op: isa.OpStore, PC: hotPC, Addr: lockA, Size: 8, Flags: isa.FlagLockRelease}, // I6 release (hits)
+		ld(cold(3)), // I7 missing load
+	}
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 2 {
+		t.Errorf("Epochs = %d, want 2", s.Epochs)
+	}
+	if s.StoreMisses != 2 || s.LoadMisses != 2 {
+		t.Errorf("misses = %d stores / %d loads", s.StoreMisses, s.LoadMisses)
+	}
+	if s.TermCounts[TermStoreSerialize] != 1 {
+		t.Errorf("TermCounts = %v; want one store-serialize epoch", s.TermCounts)
+	}
+	// The first epoch holds an expensive missing store: store MLP 1 with
+	// zero load+inst MLP (Figure 4's leftmost bottom segment).
+	if s.MLPJoint[1][0] != 1 {
+		t.Errorf("MLPJoint[1][0] = %d, want 1", s.MLPJoint[1][0])
+	}
+}
+
+// Example 6 (WC critical section): isync drains only the pipeline, so
+// every miss overlaps in a single epoch.
+func TestExample6WC(t *testing.T) {
+	cfg := exCfg()
+	cfg.Model = consistency.WC
+	cfg.StorePrefetch = uarch.Sp2
+	insts := []isa.Inst{
+		st(cold(0)), // I1 missing store
+		{Op: isa.OpLoadLocked, PC: hotPC, Addr: lockA, Size: 8, Dst: 1, Flags: isa.FlagLockAcquire},
+		{Op: isa.OpStoreCond, PC: hotPC, Addr: lockA, Size: 8, Flags: isa.FlagLockAcquire},
+		{Op: isa.OpISync, PC: hotPC, Flags: isa.FlagLockAcquire},
+		ld(cold(1)), // I4 missing load
+		st(cold(2)), // I5 missing store
+		{Op: isa.OpLWSync, PC: hotPC, Flags: isa.FlagLockRelease},
+		{Op: isa.OpStore, PC: hotPC, Addr: lockA, Size: 8, Flags: isa.FlagLockRelease},
+		ld(cold(3)), // I8 missing load
+	}
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("Epochs = %d, want 1", s.Epochs)
+	}
+	if s.StoreMisses != 2 || s.LoadMisses != 2 {
+		t.Errorf("misses = %d stores / %d loads", s.StoreMisses, s.LoadMisses)
+	}
+	// Same code under PC (casa acquire) costs more epochs.
+	pcInsts := []isa.Inst{
+		st(cold(0)),
+		{Op: isa.OpCASA, PC: hotPC, Addr: lockA, Size: 8, Dst: 1, Flags: isa.FlagLockAcquire},
+		ld(cold(1)),
+		st(cold(2)),
+		{Op: isa.OpStore, PC: hotPC, Addr: lockA, Size: 8, Flags: isa.FlagLockRelease},
+		ld(cold(3)),
+	}
+	pcCfg := exCfg()
+	pcCfg.StorePrefetch = uarch.Sp2
+	ps := runTrace(t, pcCfg, pcInsts)
+	if ps.Epochs <= s.Epochs {
+		t.Errorf("PC epochs = %d, WC epochs = %d; PC should cost more", ps.Epochs, s.Epochs)
+	}
+}
+
+func TestPerfectStores(t *testing.T) {
+	cfg := exCfg()
+	cfg.PerfectStores = true
+	// Example 4's stores vanish entirely.
+	s := runTrace(t, cfg, []isa.Inst{st(cold(0)), st(cold(1)), st(cold(2)), membar()})
+	if s.Epochs != 0 || s.StoreMisses != 0 {
+		t.Errorf("perfect stores: epochs=%d storeMisses=%d", s.Epochs, s.StoreMisses)
+	}
+	// Loads still miss.
+	s = runTrace(t, cfg, []isa.Inst{st(cold(0)), ld(cold(1))})
+	if s.Epochs != 1 || s.LoadMisses != 1 {
+		t.Errorf("perfect stores with load: epochs=%d loads=%d", s.Epochs, s.LoadMisses)
+	}
+}
+
+func TestCoalescingPC(t *testing.T) {
+	cfg := exCfg()
+	cfg.CoalesceBytes = 8
+	cfg.StorePrefetch = uarch.Sp1
+	// Two consecutive missing stores to the same 8-byte block coalesce
+	// into one queue entry and one off-chip miss.
+	a := cold(0)
+	s := runTrace(t, cfg, []isa.Inst{
+		{Op: isa.OpStore, PC: hotPC, Addr: a, Size: 4},
+		{Op: isa.OpStore, PC: hotPC, Addr: a + 4, Size: 4},
+		membar(),
+	})
+	if s.StoreMisses != 1 {
+		t.Errorf("coalesced StoreMisses = %d, want 1", s.StoreMisses)
+	}
+	if s.Hierarchy.L2StoreTraffic != 1 {
+		t.Errorf("L2StoreTraffic = %d, want 1", s.Hierarchy.L2StoreTraffic)
+	}
+	// PC only coalesces consecutive stores: an intervening store to a
+	// different block breaks the pair.
+	s = runTrace(t, cfg, []isa.Inst{
+		{Op: isa.OpStore, PC: hotPC, Addr: a, Size: 4},
+		st(hot(0)),
+		{Op: isa.OpStore, PC: hotPC, Addr: a + 4, Size: 4},
+		membar(),
+	})
+	if s.Hierarchy.L2StoreTraffic != 3 {
+		t.Errorf("non-consecutive L2StoreTraffic = %d, want 3", s.Hierarchy.L2StoreTraffic)
+	}
+}
+
+func TestCoalescingWC(t *testing.T) {
+	cfg := exCfg()
+	cfg.Model = consistency.WC
+	cfg.CoalesceBytes = 8
+	cfg.StorePrefetch = uarch.Sp1
+	a := cold(0)
+	// WC coalesces with ANY uncommitted entry, so the intervening store
+	// does not break the pair.
+	s := runTrace(t, cfg, []isa.Inst{
+		{Op: isa.OpStore, PC: hotPC, Addr: a, Size: 4},
+		st(hot(0)),
+		{Op: isa.OpStore, PC: hotPC, Addr: a + 4, Size: 4},
+		membar(),
+	})
+	if s.Hierarchy.L2StoreTraffic != 2 {
+		t.Errorf("WC L2StoreTraffic = %d, want 2", s.Hierarchy.L2StoreTraffic)
+	}
+	if s.StoreMisses != 1 {
+		t.Errorf("WC StoreMisses = %d, want 1", s.StoreMisses)
+	}
+}
+
+func TestUnboundedStoreQueue(t *testing.T) {
+	insts := []isa.Inst{st(cold(0)), st(cold(1)), st(cold(2)), st(cold(3)), membar()}
+	cfg := exCfg()
+	cfg.StorePrefetch = uarch.Sp1
+	bounded := runTrace(t, cfg, insts)
+	cfg.StoreQueue = 0 // unbounded
+	unbounded := runTrace(t, cfg, insts)
+	if unbounded.Epochs != 1 {
+		t.Errorf("unbounded SQ epochs = %d, want 1", unbounded.Epochs)
+	}
+	if bounded.Epochs <= unbounded.Epochs {
+		t.Errorf("bounded (%d) should cost more epochs than unbounded (%d)",
+			bounded.Epochs, unbounded.Epochs)
+	}
+}
+
+func TestHWS2OnStoreQueueFull(t *testing.T) {
+	insts := []isa.Inst{st(cold(0)), st(cold(1)), st(cold(2)), membar()}
+	base := exCfg() // Sp0: 3 epochs
+	s0 := runTrace(t, base, insts)
+	hws := exCfg()
+	hws.HWS = uarch.HWS2
+	s2 := runTrace(t, hws, insts)
+	if s2.Epochs >= s0.Epochs {
+		t.Errorf("HWS2 epochs = %d, want < %d", s2.Epochs, s0.Epochs)
+	}
+}
+
+func TestHWSOnMissingLoad(t *testing.T) {
+	// A missing load followed by enough filler to overflow the 64-entry
+	// ROB, then a second missing load: without scout the second load
+	// lands in a new epoch; with HWS0 it is prefetched during the first.
+	var insts []isa.Inst
+	insts = append(insts, ld(cold(0)))
+	for i := 0; i < 80; i++ {
+		insts = append(insts, alu())
+	}
+	insts = append(insts, ld(cold(1)))
+	cfg := exCfg()
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 2 {
+		t.Fatalf("NoHWS epochs = %d, want 2", s.Epochs)
+	}
+	if s.TermCounts[TermWindowFull] != 0 {
+		// window-full is recorded but only counted over store epochs;
+		// there are none here.
+		t.Errorf("TermCounts over store epochs should be empty: %v", s.TermCounts)
+	}
+	cfg.HWS = uarch.HWS0
+	s = runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("HWS0 epochs = %d, want 1", s.Epochs)
+	}
+	if s.LoadMisses != 2 {
+		t.Errorf("HWS0 LoadMisses = %d, want 2", s.LoadMisses)
+	}
+}
+
+func TestHWSDoesNotPrefetchDependentLoad(t *testing.T) {
+	// The second load's address depends on the first missing load, so
+	// scout must skip it: still two epochs.
+	var insts []isa.Inst
+	first := ld(cold(0))
+	first.Dst = 5
+	insts = append(insts, first)
+	for i := 0; i < 80; i++ {
+		insts = append(insts, alu())
+	}
+	dep := ld(cold(1))
+	dep.Src1 = 5
+	insts = append(insts, dep)
+	cfg := exCfg()
+	cfg.HWS = uarch.HWS0
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 2 {
+		t.Errorf("dependent-load epochs = %d, want 2", s.Epochs)
+	}
+}
+
+func TestMispredictedBranchTermination(t *testing.T) {
+	load := ld(cold(1))
+	load.Dst = 5
+	insts := []isa.Inst{
+		st(cold(0)),
+		load,
+		{Op: isa.OpBranch, PC: hotPC, Src1: 5, Flags: isa.FlagMispredict},
+		ld(cold(2)),
+	}
+	s := runTrace(t, exCfg(), insts)
+	if s.Epochs != 2 {
+		t.Errorf("Epochs = %d, want 2", s.Epochs)
+	}
+	if s.TermCounts[TermMispredBranch] != 1 {
+		t.Errorf("TermCounts = %v, want mispred-branch", s.TermCounts)
+	}
+}
+
+func TestInstMissTermination(t *testing.T) {
+	insts := []isa.Inst{
+		st(cold(0)),
+		{Op: isa.OpALU, PC: coldPC},
+		ld(cold(1)),
+	}
+	s := runTrace(t, exCfg(), insts)
+	if s.InstMisses != 1 {
+		t.Errorf("InstMisses = %d", s.InstMisses)
+	}
+	if s.TermCounts[TermInstMiss] != 1 {
+		t.Errorf("TermCounts = %v, want inst-miss", s.TermCounts)
+	}
+}
+
+func TestPrefetchPastSerializing(t *testing.T) {
+	// Missing store, then a serializer, then a missing load within ROB
+	// reach: PPS issues the load's miss during the drain stall.
+	insts := []isa.Inst{st(cold(0)), membar(), ld(cold(1))}
+	cfg := exCfg()
+	s := runTrace(t, cfg, insts)
+	if s.Epochs != 2 {
+		t.Fatalf("base epochs = %d, want 2", s.Epochs)
+	}
+	cfg.PrefetchPastSerializing = true
+	s = runTrace(t, cfg, insts)
+	if s.Epochs != 1 {
+		t.Errorf("PPS epochs = %d, want 1", s.Epochs)
+	}
+}
+
+func TestOverlappedStoreAdjustment(t *testing.T) {
+	cfg := exCfg()
+	cfg.MissPenalty = 50
+	cfg.CPIOnChip = 1 // overlap window = 50 instructions
+	var insts []isa.Inst
+	insts = append(insts, st(cold(0)))
+	for i := 0; i < 100; i++ {
+		insts = append(insts, alu())
+	}
+	insts = append(insts, ld(cold(1)))
+	s := runTrace(t, cfg, insts)
+	if s.OverlappedStores != 1 {
+		t.Errorf("OverlappedStores = %d, want 1", s.OverlappedStores)
+	}
+	if s.StoreMisses != 0 {
+		t.Errorf("StoreMisses = %d, want 0 (adjusted away)", s.StoreMisses)
+	}
+	if s.Epochs != 1 { // only the load's epoch remains
+		t.Errorf("Epochs = %d, want 1", s.Epochs)
+	}
+	if got := s.OverlappedStoreFraction(); got != 1 {
+		t.Errorf("OverlappedStoreFraction = %v, want 1", got)
+	}
+
+	// With a stall inside the window the store is exposed instead.
+	var exposed []isa.Inst
+	exposed = append(exposed, st(cold(0)))
+	for i := 0; i < 10; i++ {
+		exposed = append(exposed, alu())
+	}
+	exposed = append(exposed, ld(cold(1)))
+	s = runTrace(t, cfg, exposed)
+	if s.ExposedStores != 1 || s.OverlappedStores != 0 {
+		t.Errorf("exposed=%d overlapped=%d, want 1/0", s.ExposedStores, s.OverlappedStores)
+	}
+	// The load issues in the store's epoch (they overlap), so the store
+	// miss stays in the accounting.
+	if s.Epochs != 1 || s.StoreMisses != 1 || s.Misses() != 2 {
+		t.Errorf("epochs=%d storeMisses=%d misses=%d, want 1/1/2",
+			s.Epochs, s.StoreMisses, s.Misses())
+	}
+}
+
+func TestSMACAcceleration(t *testing.T) {
+	cfg := exCfg()
+	cfg.StorePrefetch = uarch.Sp1
+	cfg.SMACEntries = 1024
+	// Shrink the L2 so three stores to one set force an eviction:
+	// 512 B, 2-way, 64 B lines -> 4 sets; stride 256 maps to set 0.
+	cfg.Hierarchy.L2.SizeBytes = 512
+	cfg.Hierarchy.L2.Ways = 2
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Hierarchy().Fetch(hotPC)
+	base := uint64(0x100000)
+	insts := []isa.Inst{
+		{Op: isa.OpStore, PC: hotPC, Addr: base, Size: 8},       // miss, install M
+		{Op: isa.OpStore, PC: hotPC, Addr: base + 256, Size: 8}, // miss
+		{Op: isa.OpStore, PC: hotPC, Addr: base + 512, Size: 8}, // miss, evicts base -> SMAC
+		{Op: isa.OpStore, PC: hotPC, Addr: base, Size: 8},       // L2 miss, SMAC hit
+		membar(),
+	}
+	s, err := e.Run(trace.NewSlice(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SMACAccelerated != 1 {
+		t.Errorf("SMACAccelerated = %d, want 1", s.SMACAccelerated)
+	}
+	if s.StoreMisses != 3 {
+		t.Errorf("StoreMisses = %d, want 3 (4th accelerated)", s.StoreMisses)
+	}
+	if s.SMAC.Hits != 1 {
+		t.Errorf("SMAC stats = %+v", s.SMAC)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	bad := exCfg()
+	bad.ROB = 0
+	if _, err := New(bad); err == nil {
+		t.Error("New should reject invalid config")
+	}
+	e, err := New(exCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(nil); err == nil {
+		t.Error("Run(nil) should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	insts := []isa.Inst{
+		st(cold(0)), ld(cold(1)), st(cold(2)), membar(), ld(cold(3)), st(hot(0)),
+	}
+	run := func() Stats {
+		s := runTrace(t, exCfg(), insts)
+		return *s
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	cfg := exCfg()
+	cfg.WarmInsts = 3
+	insts := []isa.Inst{
+		st(cold(0)), ld(cold(1)), alu(), // warm: not measured
+		ld(cold(2)), // measured
+	}
+	s := runTrace(t, cfg, insts)
+	if s.Insts != 1 {
+		t.Errorf("Insts = %d, want 1", s.Insts)
+	}
+	if s.LoadMisses != 1 || s.StoreMisses != 0 {
+		t.Errorf("misses = %d/%d, want only the measured load", s.LoadMisses, s.StoreMisses)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := runTrace(t, exCfg(), []isa.Inst{st(cold(0)), membar(), ld(cold(1))})
+	if s.EPI() <= 0 {
+		t.Error("EPI should be positive")
+	}
+	if s.OffChipCPI(500) <= 0 {
+		t.Error("OffChipCPI should be positive")
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+	var zero Stats
+	if zero.EPI() != 0 || zero.MLP() != 0 || zero.StoreMLP() != 0 ||
+		zero.OffChipCPI(500) != 0 || zero.OverlappedStoreFraction() != 0 ||
+		zero.TermFraction(TermSBFull) != 0 || zero.MLPJointFraction(1, 0) != 0 {
+		t.Error("zero Stats helpers should return 0")
+	}
+}
+
+func TestTermCondString(t *testing.T) {
+	if TermSQSBFull.String() != "store queue + store buffer full" {
+		t.Errorf("TermSQSBFull = %q", TermSQSBFull.String())
+	}
+	if TermCond(99).String() != "term(99)" {
+		t.Errorf("unknown term = %q", TermCond(99).String())
+	}
+}

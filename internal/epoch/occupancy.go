@@ -1,0 +1,115 @@
+package epoch
+
+// ring tracks occupancy of a hardware structure whose entries are freed
+// in FIFO order (ROB, fetch buffer, store buffer, load buffer): an entry
+// admitted now must wait for the free epoch of the entry `size`
+// positions earlier. It starts zero-filled, i.e. all slots initially
+// free at epoch 0.
+type ring struct {
+	buf []int64
+	tag []uint8
+	pos int
+}
+
+func newRing(size int) *ring {
+	return &ring{buf: make([]int64, size), tag: make([]uint8, size)}
+}
+
+// oldest returns the free epoch (and tag) of the slot about to be
+// reused.
+func (r *ring) oldest() (int64, uint8) { return r.buf[r.pos], r.tag[r.pos] }
+
+// push records the free epoch and tag of the newly admitted entry.
+func (r *ring) push(free int64, tag uint8) {
+	r.buf[r.pos] = free
+	r.tag[r.pos] = tag
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+	}
+}
+
+// minHeap is a small binary min-heap of epochs, used for structures
+// whose entries free out of order (the issue window, and the store
+// queue under weak consistency's out-of-order commit).
+type minHeap struct {
+	v []int64
+}
+
+func (h *minHeap) push(x int64) {
+	h.v = append(h.v, x)
+	i := len(h.v) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.v[p] <= h.v[i] {
+			break
+		}
+		h.v[p], h.v[i] = h.v[i], h.v[p]
+		i = p
+	}
+}
+
+func (h *minHeap) min() int64 { return h.v[0] }
+
+func (h *minHeap) pop() int64 {
+	top := h.v[0]
+	last := len(h.v) - 1
+	h.v[0] = h.v[last]
+	h.v = h.v[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.v) && h.v[l] < h.v[m] {
+			m = l
+		}
+		if r < len(h.v) && h.v[r] < h.v[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.v[i], h.v[m] = h.v[m], h.v[i]
+		i = m
+	}
+	return top
+}
+
+func (h *minHeap) len() int { return len(h.v) }
+
+// occupancy tracks a structure with out-of-order frees and fixed
+// capacity. admit returns the earliest epoch (>= t) at which a new entry
+// fits; the caller then pushes the entry's own free epoch.
+type occupancy struct {
+	h   minHeap
+	cap int // <= 0 means unbounded
+}
+
+func newOccupancy(capacity int) *occupancy { return &occupancy{cap: capacity} }
+
+// admit frees entries whose free epoch is <= t, then, if the structure
+// is still full, waits for the earliest free. It returns the admit
+// epoch.
+func (o *occupancy) admit(t int64) int64 {
+	if o.cap <= 0 {
+		return t
+	}
+	for o.h.len() > 0 && o.h.min() <= t {
+		o.h.pop()
+	}
+	for o.h.len() >= o.cap {
+		w := o.h.pop()
+		if w > t {
+			t = w
+		}
+	}
+	return t
+}
+
+// push records the new entry's free epoch.
+func (o *occupancy) push(free int64) {
+	if o.cap <= 0 {
+		return
+	}
+	o.h.push(free)
+}

@@ -1,0 +1,110 @@
+package epoch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := newRing(3)
+	// Initially all slots free at epoch 0.
+	if v, tag := r.oldest(); v != 0 || tag != tagPlain {
+		t.Fatalf("initial oldest = %d/%d", v, tag)
+	}
+	r.push(5, tagSQ)
+	r.push(6, tagLoad)
+	r.push(7, tagPlain)
+	if v, tag := r.oldest(); v != 5 || tag != tagSQ {
+		t.Fatalf("oldest after fill = %d/%d", v, tag)
+	}
+	r.push(8, tagPlain)
+	if v, tag := r.oldest(); v != 6 || tag != tagLoad {
+		t.Fatalf("oldest after wrap = %d/%d", v, tag)
+	}
+}
+
+func TestMinHeapOrdering(t *testing.T) {
+	f := func(vals []int64) bool {
+		var h minHeap
+		for _, v := range vals {
+			h.push(v)
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, want := range sorted {
+			if h.pop() != want {
+				return false
+			}
+		}
+		return h.len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccupancyUnbounded(t *testing.T) {
+	o := newOccupancy(0)
+	if got := o.admit(7); got != 7 {
+		t.Errorf("unbounded admit = %d", got)
+	}
+	o.push(100) // no-op
+	if got := o.admit(3); got != 3 {
+		t.Errorf("unbounded admit after push = %d", got)
+	}
+}
+
+func TestOccupancyAdmit(t *testing.T) {
+	o := newOccupancy(2)
+	if got := o.admit(0); got != 0 {
+		t.Fatalf("admit empty = %d", got)
+	}
+	o.push(5)
+	if got := o.admit(0); got != 0 {
+		t.Fatalf("admit 1-of-2 = %d", got)
+	}
+	o.push(3)
+	// Full; earliest free is 3.
+	if got := o.admit(1); got != 3 {
+		t.Fatalf("admit full = %d, want 3", got)
+	}
+	o.push(9)
+	// Occupied by {5, 9}; next admit at 2 must wait for 5.
+	if got := o.admit(2); got != 5 {
+		t.Fatalf("second wait = %d, want 5", got)
+	}
+	o.push(6)
+	// {9, 6}: admission at 10 frees both.
+	if got := o.admit(10); got != 10 {
+		t.Fatalf("late admit = %d, want 10", got)
+	}
+}
+
+// Property: admit result is always >= the requested epoch and the
+// structure never holds more than cap entries with free epochs greater
+// than the last admit time.
+func TestOccupancyProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := newOccupancy(4)
+		var now int64
+		for i := 0; i < int(n); i++ {
+			req := now + int64(rng.Intn(3))
+			got := o.admit(req)
+			if got < req {
+				return false
+			}
+			o.push(got + int64(rng.Intn(5)))
+			now = got
+			if o.h.len() > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package epoch
+
+import (
+	"testing"
+
+	"storemlp/internal/isa"
+	"storemlp/internal/trace"
+)
+
+func TestWithSharedCoreNil(t *testing.T) {
+	if _, err := New(exCfg(), WithSharedCore(nil)); err == nil {
+		t.Error("nil shared-core source should error")
+	}
+}
+
+// A co-runner hammering the same L2 set evicts the primary core's line,
+// turning its second store into a miss.
+func TestSharedCoreEvictsLines(t *testing.T) {
+	cfg := exCfg()
+	cfg.Hierarchy.L2.SizeBytes = 512 // 4 sets x 2 ways
+	cfg.Hierarchy.L2.Ways = 2
+	// Background stream: stores marching through set 0 (stride 256).
+	var bg []isa.Inst
+	for i := 0; i < 64; i++ {
+		bg = append(bg, isa.Inst{
+			Op: isa.OpStore, PC: hotPC, Size: 8,
+			Addr: 0x100000 + uint64(i)*256,
+		})
+	}
+	mk := func(withBG bool) *Stats {
+		var opts []Option
+		if withBG {
+			opts = append(opts, WithSharedCore(trace.NewSlice(bg)))
+		}
+		e, err := New(cfg, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Hierarchy().Fetch(hotPC)
+		// Store to a set-0 line, filler, store to it again.
+		insts := []isa.Inst{
+			{Op: isa.OpStore, PC: hotPC, Addr: 0x200000, Size: 8},
+		}
+		for i := 0; i < 40; i++ {
+			insts = append(insts, alu())
+		}
+		insts = append(insts,
+			isa.Inst{Op: isa.OpStore, PC: hotPC, Addr: 0x200000, Size: 8},
+			membar())
+		s, err := e.Run(trace.NewSlice(insts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	solo := mk(false)
+	co := mk(true)
+	if solo.StoreMisses != 1 {
+		t.Errorf("solo StoreMisses = %d, want 1 (second store hits)", solo.StoreMisses)
+	}
+	if co.StoreMisses != 2 {
+		t.Errorf("co-run StoreMisses = %d, want 2 (line evicted by co-runner)", co.StoreMisses)
+	}
+}
+
+func TestSharedCoreSourceExhaustion(t *testing.T) {
+	// A background source shorter than the main trace must not break the
+	// run.
+	cfg := exCfg()
+	e, err := New(cfg, WithSharedCore(trace.NewSlice([]isa.Inst{alu()})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Hierarchy().Fetch(hotPC)
+	insts := []isa.Inst{alu(), alu(), alu(), ld(cold(0))}
+	s, err := e.Run(trace.NewSlice(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Insts != 4 {
+		t.Errorf("Insts = %d", s.Insts)
+	}
+}
+
+func TestSMACGeometryKnobs(t *testing.T) {
+	cfg := exCfg()
+	cfg.SMACEntries = 1024
+	cfg.SMACSuperLineBytes = 512
+	cfg.SMACSubBlockBytes = 64
+	cfg.SMACWays = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.SMAC().Params()
+	if p.SuperLineBytes != 512 || p.SubBlocks() != 8 || p.Ways != 4 {
+		t.Errorf("SMAC params = %+v", p)
+	}
+	// Invalid geometry is rejected at config validation.
+	bad := cfg
+	bad.SMACSuperLineBytes = 1000 // not a power of two
+	if _, err := New(bad); err == nil {
+		t.Error("invalid SMAC geometry should be rejected")
+	}
+	bad = cfg
+	bad.SMACSubBlockBytes = 4 // 128 sub-blocks > 64
+	if _, err := New(bad); err == nil {
+		t.Error("too many sub-blocks should be rejected")
+	}
+}

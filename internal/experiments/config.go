@@ -1,0 +1,83 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): Tables 1-3 and Figures 2-8, plus ablations of design
+// choices called out in DESIGN.md. Each function returns structured rows
+// so that cmd/experiments can render them and the benchmark harness can
+// time them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"storemlp/internal/workload"
+)
+
+// Config controls an experiment sweep.
+type Config struct {
+	// Seed parameterizes the workload generators and coherence traffic.
+	Seed int64
+	// Insts is the measured instruction count per run; Warm the cache
+	// warmup prefix. The SMAC experiments (Figures 5 and 6) scale these
+	// by their own per-workload factors (see smacScale).
+	Insts int64
+	Warm  int64
+	// Parallelism bounds concurrent simulation runs (default: NumCPU).
+	Parallelism int
+	// Workloads defaults to the paper's four.
+	Workloads []workload.Params
+}
+
+// DefaultConfig returns a configuration sized for the full harness:
+// 2M measured instructions per run after 1M of warmup.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Insts: 2_000_000, Warm: 1_000_000}
+}
+
+func (c Config) norm() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Insts <= 0 {
+		c.Insts = 2_000_000
+	}
+	if c.Warm < 0 {
+		c.Warm = 0
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = workload.All(c.Seed)
+	}
+	return c
+}
+
+// parMap runs fn(0..n-1) with bounded parallelism, returning the first
+// error.
+func parMap(n, parallelism int, fn func(i int) error) error {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first error
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = fmt.Errorf("experiments: run %d: %w", i, err)
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"storemlp/internal/epoch"
+	"storemlp/internal/uarch"
+)
+
+func TestToCSVScalars(t *testing.T) {
+	rows := []Table1Row{
+		{Workload: "database", StoreFreq: 10.09, StoreMiss: 0.36, LoadMiss: 0.57, InstMiss: 0.09},
+	}
+	recs, err := ToCSV(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "Workload" || recs[0][1] != "StoreFreq" {
+		t.Errorf("header = %v", recs[0])
+	}
+	if recs[1][0] != "database" || recs[1][1] != "10.09" {
+		t.Errorf("row = %v", recs[1])
+	}
+}
+
+func TestToCSVEnumsAndBools(t *testing.T) {
+	rows := []Fig2Cell{
+		{Workload: "tpcw", Prefetch: uarch.Sp1, SB: 16, SQ: 32, EPI: 1.5},
+		{Workload: "tpcw", Perfect: true, EPI: 1.1},
+	}
+	recs, err := ToCSV(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PrefetchMode renders via its String method.
+	joined := strings.Join(recs[1], ",")
+	if !strings.Contains(joined, "Sp1") {
+		t.Errorf("row = %v", recs[1])
+	}
+	if !strings.Contains(strings.Join(recs[2], ","), "true") {
+		t.Errorf("bool row = %v", recs[2])
+	}
+}
+
+func TestToCSVFlattensArrays(t *testing.T) {
+	var row Fig3Row
+	row.Workload = "specjbb"
+	row.Fractions[epoch.TermStoreSerialize] = 0.8
+	recs, err := ToCSV([]Fig3Row{row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := 3 + int(epoch.NumTermConds) // Workload, Variant, EpochsWithStore + fractions
+	if len(recs[0]) != wantCols {
+		t.Errorf("columns = %d, want %d: %v", len(recs[0]), wantCols, recs[0])
+	}
+	found := false
+	for _, h := range recs[0] {
+		if strings.HasPrefix(h, "Fractions[") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no flattened array headers: %v", recs[0])
+	}
+}
+
+func TestToCSVErrors(t *testing.T) {
+	if _, err := ToCSV(42); err == nil {
+		t.Error("non-slice should error")
+	}
+	if _, err := ToCSV([]int{1}); err == nil {
+		t.Error("slice of non-structs should error")
+	}
+	type empty struct{ ch chan int }
+	if _, err := ToCSV([]empty{{}}); err == nil {
+		t.Error("no CSV-able fields should error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []Table2Row{{Workload: "tpcw", Overlapped: 0.12}}
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "Workload,Overlapped") || !strings.Contains(got, "tpcw,0.12") {
+		t.Errorf("csv output:\n%s", got)
+	}
+}

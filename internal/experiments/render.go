@@ -1,0 +1,410 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"storemlp/internal/epoch"
+	"storemlp/internal/metrics"
+	"storemlp/internal/uarch"
+)
+
+// The Render* helpers turn experiment rows into text tables whose rows
+// and series mirror the paper's tables and figures, for cmd/experiments
+// and EXPERIMENTS.md.
+
+// RenderTable1 mirrors the paper's Table 1 layout.
+func RenderTable1(rows []Table1Row) string {
+	t := metrics.NewTable("Table 1: store and miss rate statistics (per 100 insts, 2MB 4-way L2)",
+		"per 100 insts", "database", "tpcw", "specjbb", "specweb")
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	get := func(f func(Table1Row) float64) []interface{} {
+		out := make([]interface{}, 0, 4)
+		for _, n := range []string{"database", "tpcw", "specjbb", "specweb"} {
+			out = append(out, f(byName[n]))
+		}
+		return out
+	}
+	t.AddRow(append([]interface{}{"store frequency"}, get(func(r Table1Row) float64 { return r.StoreFreq })...)...)
+	t.AddRow(append([]interface{}{"L2 store miss rate"}, get(func(r Table1Row) float64 { return r.StoreMiss })...)...)
+	t.AddRow(append([]interface{}{"L2 load miss rate"}, get(func(r Table1Row) float64 { return r.LoadMiss })...)...)
+	t.AddRow(append([]interface{}{"L2 inst miss rate"}, get(func(r Table1Row) float64 { return r.InstMiss })...)...)
+	return t.String()
+}
+
+// RenderTable2 mirrors Table 2.
+func RenderTable2(rows []Table2Row) string {
+	t := metrics.NewTable("Table 2: fraction of missing stores fully overlapped with computation",
+		"workload", "fraction")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Overlapped)
+	}
+	return t.String()
+}
+
+// RenderTable3 mirrors Table 3.
+func RenderTable3(rows []Table3Row) string {
+	t := metrics.NewTable("Table 3: CPIon-chip for the default configuration",
+		"workload", "CPIon-chip")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.CPIOnChip)
+	}
+	return t.String()
+}
+
+// RenderFigure2 prints one block per workload: EPI for each prefetch
+// mode x store buffer x store queue, plus the perfect-stores floor.
+func RenderFigure2(cells []Fig2Cell) string {
+	var b strings.Builder
+	perWorkload := groupBy(cells, func(c Fig2Cell) string { return c.Workload })
+	for _, wl := range sortedKeys(perWorkload) {
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 2 (%s): EPI (epochs/1000 insts) vs store prefetch, SB, SQ", wl),
+			"prefetch", "SB", "SQ16", "SQ32", "SQ64", "SQ256")
+		group := perWorkload[wl]
+		var perfect float64
+		for _, sp := range []uarch.PrefetchMode{uarch.Sp0, uarch.Sp1, uarch.Sp2} {
+			for _, sb := range Fig2SBSizes {
+				row := []interface{}{sp.String(), sb}
+				for _, sq := range Fig2SQSizes {
+					for _, c := range group {
+						if !c.Perfect && c.Prefetch == sp && c.SB == sb && c.SQ == sq {
+							row = append(row, c.EPI)
+						}
+					}
+				}
+				t.AddRow(row...)
+			}
+		}
+		for _, c := range group {
+			if c.Perfect {
+				perfect = c.EPI
+			}
+		}
+		b.WriteString(t.String())
+		fmt.Fprintf(&b, "perfect stores (never stall): %.3f\n\n", perfect)
+	}
+	return b.String()
+}
+
+// RenderFigure3 prints the termination-condition mix per workload for
+// variants A (default) and B (SLE + prefetch past serializing).
+func RenderFigure3(rows []Fig3Row) string {
+	var b strings.Builder
+	for _, variant := range []string{"A", "B"} {
+		title := "Figure 3A: window termination conditions, default configuration"
+		if variant == "B" {
+			title = "Figure 3B: window termination conditions, SLE + prefetch past serializing"
+		}
+		t := metrics.NewTable(title, "condition", "database", "tpcw", "specjbb", "specweb")
+		byName := map[string]Fig3Row{}
+		for _, r := range rows {
+			if r.Variant == variant {
+				byName[r.Workload] = r
+			}
+		}
+		for cond := epoch.TermCond(0); cond < epoch.NumTermConds; cond++ {
+			row := []interface{}{cond.String()}
+			any := false
+			for _, n := range []string{"database", "tpcw", "specjbb", "specweb"} {
+				f := byName[n].Fractions[cond]
+				if f > 0 {
+					any = true
+				}
+				row = append(row, f)
+			}
+			if any {
+				t.AddRow(row...)
+			}
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure4 prints, per workload, the store-MLP distribution
+// segmented by combined load+instruction MLP.
+func RenderFigure4(rows []Fig4Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 4 (%s): fraction of epochs by store MLP x load+inst MLP (store MLP avg %.2f)",
+				r.Workload, r.StoreMLP),
+			"store MLP", "li=0", "li=1", "li=2", "li=3", "li=4", "li>=5")
+		for sb := 1; sb <= epoch.MaxStoreMLPBucket; sb++ {
+			label := fmt.Sprintf("%d", sb)
+			if sb == epoch.MaxStoreMLPBucket {
+				label = ">=10"
+			}
+			row := []interface{}{label}
+			sum := 0.0
+			for lb := 0; lb <= epoch.MaxLoadInstBucket; lb++ {
+				row = append(row, r.Joint[sb][lb])
+				sum += r.Joint[sb][lb]
+			}
+			if sum > 0 {
+				t.AddRow(row...)
+			}
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure5 prints the SMAC sweep per workload.
+func RenderFigure5(cells []Fig5Cell) string {
+	var b strings.Builder
+	b.WriteString("Figure 5 runs a 1/32-scale SMAC model (see DESIGN.md): entries 256..4K\n" +
+		"correspond to the paper's 8K..128K.\n\n")
+	perWorkload := groupBy(cells, func(c Fig5Cell) string { return c.Workload })
+	for _, wl := range sortedKeys(perWorkload) {
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 5 (%s): EPI vs SMAC size and store prefetching", wl),
+			"prefetch", "no SMAC", "256", "512", "1K", "2K", "4K")
+		group := perWorkload[wl]
+		var perfect float64
+		for _, sp := range []uarch.PrefetchMode{uarch.Sp0, uarch.Sp1, uarch.Sp2} {
+			row := []interface{}{sp.String()}
+			for _, entries := range append([]int{0}, Fig5SMACEntries...) {
+				for _, c := range group {
+					if !c.Perfect && c.Prefetch == sp && c.SMACEntries == entries {
+						row = append(row, c.EPI)
+					}
+				}
+			}
+			t.AddRow(row...)
+		}
+		for _, c := range group {
+			if c.Perfect {
+				perfect = c.EPI
+			}
+		}
+		b.WriteString(t.String())
+		fmt.Fprintf(&b, "perfect stores: %.3f\n\n", perfect)
+	}
+	return b.String()
+}
+
+// RenderFigure6 prints the coherence-impact series.
+func RenderFigure6(cells []Fig6Cell) string {
+	var b strings.Builder
+	left := metrics.NewTable("Figure 6 (left): SMAC coherence invalidates per 1000 insts",
+		"workload", "nodes", "256", "512", "1K", "2K", "4K")
+	right := metrics.NewTable("Figure 6 (right): % of missing stores hitting invalidated SMAC lines",
+		"workload", "nodes", "256", "512", "1K", "2K", "4K")
+	perKey := groupBy(cells, func(c Fig6Cell) string { return fmt.Sprintf("%s/%d", c.Workload, c.Nodes) })
+	for _, key := range sortedKeys(perKey) {
+		group := perKey[key]
+		parts := strings.SplitN(key, "/", 2)
+		lrow := []interface{}{parts[0], parts[1]}
+		rrow := []interface{}{parts[0], parts[1]}
+		for _, entries := range Fig5SMACEntries {
+			for _, c := range group {
+				if c.SMACEntries == entries {
+					lrow = append(lrow, c.InvalPer1000)
+					rrow = append(rrow, c.PctHitInvalid)
+				}
+			}
+		}
+		left.AddRow(lrow...)
+		right.AddRow(rrow...)
+	}
+	b.WriteString(left.String())
+	b.WriteString("\n")
+	b.WriteString(right.String())
+	return b.String()
+}
+
+// RenderFigure7 prints the consistency-model comparison per workload.
+func RenderFigure7(cells []Fig7Cell) string {
+	var b strings.Builder
+	perWorkload := groupBy(cells, func(c Fig7Cell) string { return c.Workload })
+	for _, wl := range sortedKeys(perWorkload) {
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 7 (%s): EPI with stores / perfect segment", wl),
+			"prefetch", "PC1", "PC2", "PC3", "WC1", "WC2", "WC3")
+		group := perWorkload[wl]
+		for _, sp := range []uarch.PrefetchMode{uarch.Sp0, uarch.Sp1, uarch.Sp2} {
+			row := []interface{}{sp.String()}
+			for _, cfg := range Fig7Configs {
+				var with, perf float64
+				for _, c := range group {
+					if c.Prefetch == sp && c.Config == cfg {
+						if c.Perfect {
+							perf = c.EPI
+						} else {
+							with = c.EPI
+						}
+					}
+				}
+				row = append(row, fmt.Sprintf("%.2f/%.2f", with, perf))
+			}
+			t.AddRow(row...)
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure8 prints the Hardware Scout comparison per workload.
+func RenderFigure8(cells []Fig8Cell) string {
+	var b strings.Builder
+	perWorkload := groupBy(cells, func(c Fig8Cell) string { return c.Workload })
+	for _, wl := range sortedKeys(perWorkload) {
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 8 (%s): EPI with stores / perfect segment", wl),
+			"model", "NoHWS", "HWS0", "HWS1", "HWS2")
+		group := perWorkload[wl]
+		for _, model := range []string{"PC", "WC"} {
+			row := []interface{}{model}
+			for _, h := range []uarch.HWSMode{uarch.NoHWS, uarch.HWS0, uarch.HWS1, uarch.HWS2} {
+				var with, perf float64
+				for _, c := range group {
+					if c.Model.String() == model && c.HWS == h {
+						if c.Perfect {
+							perf = c.EPI
+						} else {
+							with = c.EPI
+						}
+					}
+				}
+				row = append(row, fmt.Sprintf("%.2f/%.2f", with, perf))
+			}
+			t.AddRow(row...)
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderAblations prints every ablation sweep.
+func RenderAblations(r *AblationResults) string {
+	co, bw, sr, le := r.Coalescing, r.Bandwidth, r.ScoutReach, r.LockElision
+	var b strings.Builder
+	t := metrics.NewTable("Ablation: store coalescing granularity x store queue size (EPI)",
+		"workload", "granularity", "SQ16", "SQ32", "SQ64")
+	perKey := groupBy(co, func(c CoalescingCell) string {
+		return fmt.Sprintf("%s/%02d", c.Workload, c.CoalesceBytes)
+	})
+	for _, key := range sortedKeys(perKey) {
+		group := perKey[key]
+		parts := strings.SplitN(key, "/", 2)
+		row := []interface{}{parts[0], parts[1]}
+		for _, sq := range []int{16, 32, 64} {
+			for _, c := range group {
+				if c.SQ == sq {
+					row = append(row, c.EPI)
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n")
+
+	t2 := metrics.NewTable("Ablation: L2 bandwidth — prefetching vs SMAC (per 1000 insts)",
+		"workload", "scheme", "EPI", "store traffic", "prefetch reqs", "smac-accel")
+	for _, c := range bw {
+		t2.AddRow(c.Workload, c.Scheme, c.EPI, c.StoreTraffic, c.PrefetchReqs, c.SMACAccelerated)
+	}
+	b.WriteString(t2.String())
+	b.WriteString("\n")
+
+	t3 := metrics.NewTable("Ablation: Hardware Scout reach (HWS2, EPI)",
+		"workload", "reach=64", "128", "256", "454", "1024")
+	perWl := groupBy(sr, func(c ScoutReachCell) string { return c.Workload })
+	for _, wl := range sortedKeys(perWl) {
+		row := []interface{}{wl}
+		for _, reach := range []int{64, 128, 256, 454, 1024} {
+			for _, c := range perWl[wl] {
+				if c.Reach == reach {
+					row = append(row, c.EPI)
+				}
+			}
+		}
+		t3.AddRow(row...)
+	}
+	b.WriteString(t3.String())
+	b.WriteString("\n")
+
+	t4 := metrics.NewTable("Ablation: lock removal — SLE vs transactional memory (EPI, PC)",
+		"workload", "base", "SLE", "TM")
+	perWl2 := groupBy(le, func(c LockElisionCell) string { return c.Workload })
+	for _, wl := range sortedKeys(perWl2) {
+		row := []interface{}{wl}
+		for _, scheme := range []string{"base", "SLE", "TM"} {
+			for _, c := range perWl2[wl] {
+				if c.Scheme == scheme {
+					row = append(row, c.EPI)
+				}
+			}
+		}
+		t4.AddRow(row...)
+	}
+	b.WriteString(t4.String())
+	b.WriteString("\n")
+
+	t5 := metrics.NewTable("Ablation: shared-L2 CMP interference (EPI)",
+		"workload", "solo", "co-scheduled", "increase")
+	perWl3 := groupBy(r.SharedL2, func(c SharedL2Cell) string { return c.Workload })
+	for _, wl := range sortedKeys(perWl3) {
+		var solo, co float64
+		for _, c := range perWl3[wl] {
+			if c.CoRun {
+				co = c.EPI
+			} else {
+				solo = c.EPI
+			}
+		}
+		inc := "-"
+		if solo > 0 {
+			inc = fmt.Sprintf("%.0f%%", 100*(co-solo)/solo)
+		}
+		t5.AddRow(wl, solo, co, inc)
+	}
+	b.WriteString(t5.String())
+	b.WriteString("\n")
+
+	t6 := metrics.NewTable("Ablation: SMAC super-line size at 1K tags, 64B sub-blocks (Sp0, scaled)",
+		"workload", "256B", "1KB", "2KB", "4KB")
+	perWl4 := groupBy(r.SMACGeometry, func(c SMACGeometryCell) string { return c.Workload })
+	for _, wl := range sortedKeys(perWl4) {
+		row := []interface{}{wl}
+		for _, sl := range []int{256, 1024, 2048, 4096} {
+			for _, c := range perWl4[wl] {
+				if c.SuperLineBytes == sl {
+					row = append(row, c.EPI)
+				}
+			}
+		}
+		t6.AddRow(row...)
+	}
+	b.WriteString(t6.String())
+	return b.String()
+}
+
+func groupBy[T any](items []T, key func(T) string) map[string][]T {
+	m := map[string][]T{}
+	for _, it := range items {
+		k := key(it)
+		m[k] = append(m[k], it)
+	}
+	return m
+}
+
+func sortedKeys[T any](m map[string][]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

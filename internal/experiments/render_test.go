@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"storemlp/internal/consistency"
+	"storemlp/internal/epoch"
+	"storemlp/internal/uarch"
+	"storemlp/internal/workload"
+)
+
+func TestRenderTable1(t *testing.T) {
+	rows := []Table1Row{
+		{Workload: "database", StoreFreq: 10.09, StoreMiss: 0.36, LoadMiss: 0.57, InstMiss: 0.09},
+		{Workload: "tpcw", StoreFreq: 7.28, StoreMiss: 0.12, LoadMiss: 0.06, InstMiss: 0.06},
+		{Workload: "specjbb", StoreFreq: 7.52, StoreMiss: 0.07, LoadMiss: 0.25, InstMiss: 0.002},
+		{Workload: "specweb", StoreFreq: 7.20, StoreMiss: 0.13, LoadMiss: 0.14, InstMiss: 0.01},
+	}
+	out := RenderTable1(rows)
+	for _, want := range []string{"Table 1", "store frequency", "10.090", "0.360", "specweb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTable2And3(t *testing.T) {
+	out := RenderTable2([]Table2Row{{Workload: "database", Overlapped: 0.09}})
+	if !strings.Contains(out, "0.090") || !strings.Contains(out, "Table 2") {
+		t.Errorf("table2:\n%s", out)
+	}
+	out = RenderTable3([]Table3Row{{Workload: "specjbb", CPIOnChip: 0.95}})
+	if !strings.Contains(out, "0.950") || !strings.Contains(out, "Table 3") {
+		t.Errorf("table3:\n%s", out)
+	}
+}
+
+func TestRenderFigure2(t *testing.T) {
+	var cells []Fig2Cell
+	for _, sp := range []uarch.PrefetchMode{uarch.Sp0, uarch.Sp1, uarch.Sp2} {
+		for _, sb := range Fig2SBSizes {
+			for _, sq := range Fig2SQSizes {
+				cells = append(cells, Fig2Cell{
+					Workload: "tpcw", Prefetch: sp, SB: sb, SQ: sq,
+					EPI: float64(sq) / 100,
+				})
+			}
+		}
+	}
+	cells = append(cells, Fig2Cell{Workload: "tpcw", Perfect: true, EPI: 1.1})
+	out := RenderFigure2(cells)
+	for _, want := range []string{"Figure 2 (tpcw)", "Sp0", "Sp2", "SQ256", "perfect stores (never stall): 1.100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure3(t *testing.T) {
+	mk := func(v string) Fig3Row {
+		r := Fig3Row{Workload: "specjbb", Variant: v, EpochsWithStore: 100}
+		r.Fractions[epoch.TermStoreSerialize] = 0.8
+		return r
+	}
+	out := RenderFigure3([]Fig3Row{mk("A"), mk("B")})
+	for _, want := range []string{"Figure 3A", "Figure 3B", "store serialize", "0.800"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure4(t *testing.T) {
+	r := Fig4Row{Workload: "database", StoreMLP: 3.5}
+	r.Joint[1][0] = 0.25
+	r.Joint[10][5] = 0.01
+	out := RenderFigure4([]Fig4Row{r})
+	for _, want := range []string{"Figure 4 (database)", "3.50", "0.250", ">=10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure5(t *testing.T) {
+	var cells []Fig5Cell
+	for _, e := range append([]int{0}, Fig5SMACEntries...) {
+		cells = append(cells, Fig5Cell{Workload: "database", Prefetch: uarch.Sp0, SMACEntries: e, EPI: 5})
+		cells = append(cells, Fig5Cell{Workload: "database", Prefetch: uarch.Sp1, SMACEntries: e, EPI: 4})
+		cells = append(cells, Fig5Cell{Workload: "database", Prefetch: uarch.Sp2, SMACEntries: e, EPI: 3})
+	}
+	cells = append(cells, Fig5Cell{Workload: "database", Perfect: true, EPI: 2.5})
+	out := RenderFigure5(cells)
+	for _, want := range []string{"Figure 5 (database)", "no SMAC", "4K", "perfect stores: 2.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure6(t *testing.T) {
+	var cells []Fig6Cell
+	for _, nodes := range []int{2, 4} {
+		for _, e := range Fig5SMACEntries {
+			cells = append(cells, Fig6Cell{
+				Workload: "tpcw", Nodes: nodes, SMACEntries: e,
+				InvalPer1000: 0.1 * float64(nodes), PctHitInvalid: float64(nodes),
+			})
+		}
+	}
+	out := RenderFigure6(cells)
+	for _, want := range []string{"Figure 6 (left)", "Figure 6 (right)", "tpcw", "0.400"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure7(t *testing.T) {
+	var cells []Fig7Cell
+	for _, sp := range []uarch.PrefetchMode{uarch.Sp0, uarch.Sp1, uarch.Sp2} {
+		for _, cfg := range Fig7Configs {
+			cells = append(cells,
+				Fig7Cell{Workload: "specweb", Prefetch: sp, Config: cfg, EPI: 2},
+				Fig7Cell{Workload: "specweb", Prefetch: sp, Config: cfg, Perfect: true, EPI: 1})
+		}
+	}
+	out := RenderFigure7(cells)
+	for _, want := range []string{"Figure 7 (specweb)", "PC1", "WC3", "2.00/1.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure8(t *testing.T) {
+	var cells []Fig8Cell
+	for _, m := range []consistency.Model{consistency.PC, consistency.WC} {
+		for _, h := range []uarch.HWSMode{uarch.NoHWS, uarch.HWS0, uarch.HWS1, uarch.HWS2} {
+			cells = append(cells,
+				Fig8Cell{Workload: "tpcw", Model: m, HWS: h, EPI: 1.5},
+				Fig8Cell{Workload: "tpcw", Model: m, HWS: h, Perfect: true, EPI: 1})
+		}
+	}
+	out := RenderFigure8(cells)
+	for _, want := range []string{"Figure 8 (tpcw)", "NoHWS", "HWS2", "1.50/1.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	co := []CoalescingCell{
+		{Workload: "database", CoalesceBytes: 0, SQ: 16, EPI: 5},
+		{Workload: "database", CoalesceBytes: 0, SQ: 32, EPI: 4.8},
+		{Workload: "database", CoalesceBytes: 0, SQ: 64, EPI: 4.7},
+		{Workload: "database", CoalesceBytes: 64, SQ: 32, EPI: 4.7},
+	}
+	bw := []BandwidthCell{
+		{Workload: "database", Scheme: "Sp1", EPI: 4.8, StoreTraffic: 100, PrefetchReqs: 3.5},
+		{Workload: "database", Scheme: "Sp0+SMAC", EPI: 4.9, StoreTraffic: 100, SMACAccelerated: 2.5},
+	}
+	sr := []ScoutReachCell{
+		{Workload: "tpcw", Reach: 64, EPI: 1.4},
+		{Workload: "tpcw", Reach: 1024, EPI: 1.2},
+	}
+	le := []LockElisionCell{
+		{Workload: "tpcw", Scheme: "base", EPI: 1.5},
+		{Workload: "tpcw", Scheme: "SLE", EPI: 1.3},
+		{Workload: "tpcw", Scheme: "TM", EPI: 1.29},
+	}
+	sh := []SharedL2Cell{
+		{Workload: "tpcw", CoRun: false, EPI: 1.5},
+		{Workload: "tpcw", CoRun: true, EPI: 1.8},
+	}
+	ge := []SMACGeometryCell{
+		{Workload: "tpcw", SuperLineBytes: 256, EPI: 2.0},
+		{Workload: "tpcw", SuperLineBytes: 1024, EPI: 1.6},
+		{Workload: "tpcw", SuperLineBytes: 2048, EPI: 1.5},
+		{Workload: "tpcw", SuperLineBytes: 4096, EPI: 1.55},
+	}
+	out := RenderAblations(&AblationResults{
+		Coalescing: co, Bandwidth: bw, ScoutReach: sr,
+		LockElision: le, SharedL2: sh, SMACGeometry: ge,
+	})
+	for _, want := range []string{"coalescing", "bandwidth", "Sp0+SMAC", "Scout reach",
+		"SLE vs transactional", "1.290", "shared-L2", "20%", "super-line", "1.550"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationLockElisionRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	c := small()
+	c.Workloads = []workload.Params{workload.SPECjbb(1)} // lock-bound
+	cells, err := AblationLockElision(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, sle, tm float64
+	for _, cell := range cells {
+		switch cell.Scheme {
+		case "base":
+			base = cell.EPI
+		case "SLE":
+			sle = cell.EPI
+		case "TM":
+			tm = cell.EPI
+		}
+	}
+	if sle >= base || tm >= base {
+		t.Errorf("lock removal should help: base=%.3f sle=%.3f tm=%.3f", base, sle, tm)
+	}
+	// The paper: TM achieves similar benefits as SLE.
+	if diff := tm - sle; diff > 0.15*sle || diff < -0.15*sle {
+		t.Errorf("TM (%.3f) should be close to SLE (%.3f)", tm, sle)
+	}
+}

@@ -1,0 +1,161 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpALU:        "alu",
+		OpLoad:       "load",
+		OpStore:      "store",
+		OpBranch:     "branch",
+		OpCASA:       "casa",
+		OpMembar:     "membar",
+		OpLoadLocked: "lwarx",
+		OpStoreCond:  "stwcx",
+		OpISync:      "isync",
+		OpLWSync:     "lwsync",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(250).String(); got != "op(250)" {
+		t.Errorf("unknown op String() = %q", got)
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		if !o.Valid() {
+			t.Errorf("Op %v should be valid", o)
+		}
+	}
+	if Op(numOps).Valid() {
+		t.Error("Op(numOps) should be invalid")
+	}
+}
+
+func TestLoadStoreClassification(t *testing.T) {
+	tests := []struct {
+		op          Op
+		load, store bool
+	}{
+		{OpALU, false, false},
+		{OpLoad, true, false},
+		{OpStore, false, true},
+		{OpBranch, false, false},
+		{OpCASA, true, true}, // atomic load+store
+		{OpMembar, false, false},
+		{OpLoadLocked, true, false},
+		{OpStoreCond, false, true},
+		{OpISync, false, false},
+		{OpLWSync, false, false},
+	}
+	for _, tc := range tests {
+		if got := tc.op.IsLoad(); got != tc.load {
+			t.Errorf("%v.IsLoad() = %v, want %v", tc.op, got, tc.load)
+		}
+		if got := tc.op.IsStore(); got != tc.store {
+			t.Errorf("%v.IsStore() = %v, want %v", tc.op, got, tc.store)
+		}
+		if got := tc.op.IsMem(); got != (tc.load || tc.store) {
+			t.Errorf("%v.IsMem() = %v, want %v", tc.op, got, tc.load || tc.store)
+		}
+	}
+}
+
+func TestBarrierClassification(t *testing.T) {
+	barriers := map[Op]bool{
+		OpMembar: true, OpISync: true, OpLWSync: true,
+		OpALU: false, OpLoad: false, OpStore: false, OpCASA: false,
+	}
+	for op, want := range barriers {
+		if got := op.IsBarrier(); got != want {
+			t.Errorf("%v.IsBarrier() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestSerializing(t *testing.T) {
+	// Under PC, casa and membar serialize. isync serializes the pipeline
+	// (though not the store queue). lwsync does not stall execution.
+	ser := map[Op]bool{
+		OpCASA: true, OpMembar: true, OpISync: true,
+		OpLWSync: false, OpLoad: false, OpStore: false, OpALU: false,
+		OpLoadLocked: false, OpStoreCond: false, OpBranch: false,
+	}
+	for op, want := range ser {
+		in := Inst{Op: op}
+		if got := in.Serializing(); got != want {
+			t.Errorf("Inst{%v}.Serializing() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestFlagsHas(t *testing.T) {
+	f := FlagLockAcquire | FlagShared
+	if !f.Has(FlagLockAcquire) {
+		t.Error("expected FlagLockAcquire set")
+	}
+	if !f.Has(FlagShared) {
+		t.Error("expected FlagShared set")
+	}
+	if f.Has(FlagLockRelease) {
+		t.Error("FlagLockRelease should not be set")
+	}
+	if !f.Has(FlagLockAcquire | FlagShared) {
+		t.Error("combined mask should match")
+	}
+	if f.Has(FlagLockAcquire | FlagLockRelease) {
+		t.Error("partial mask must not match")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	mem := Inst{Op: OpStore, Addr: 0x1000, Size: 8, PC: 0x400, Src1: 3, Src2: 4}
+	if s := mem.String(); !strings.Contains(s, "store@0x1000[8]") {
+		t.Errorf("mem String() = %q", s)
+	}
+	alu := Inst{Op: OpALU, PC: 0x404, Dst: 5, Src1: 1, Src2: 2}
+	if s := alu.String(); !strings.Contains(s, "alu pc=0x404") {
+		t.Errorf("alu String() = %q", s)
+	}
+}
+
+// Property: IsMem is exactly IsLoad || IsStore for every op value,
+// including invalid ones.
+func TestMemClassificationProperty(t *testing.T) {
+	f := func(b uint8) bool {
+		o := Op(b)
+		return o.IsMem() == (o.IsLoad() || o.IsStore())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Flags.Has is monotone — if a flag set has mask m, it has
+// every subset of m.
+func TestFlagsHasProperty(t *testing.T) {
+	f := func(set, mask uint8) bool {
+		fs, m := Flags(set), Flags(mask)
+		if !fs.Has(m) {
+			return true
+		}
+		// every single-bit subset must also be present
+		for b := uint8(1); b != 0; b <<= 1 {
+			if m.Has(Flags(b)) && !fs.Has(Flags(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

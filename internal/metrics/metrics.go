@@ -1,0 +1,69 @@
+// Package metrics provides small formatting helpers for rendering the
+// experiment results as text tables mirroring the paper's tables and
+// figure series.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a simple text table with a title, column headers and rows.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v, floats with %.3f.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Headers, "\t"))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Bar renders a crude horizontal bar of width proportional to v/max
+// (capped at 40 chars), for quick visual comparison in terminal output.
+func Bar(v, max float64) string {
+	if max <= 0 || v <= 0 {
+		return ""
+	}
+	n := int(v / max * 40)
+	if n > 40 {
+		n = 40
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.23456)
+	tb.AddRow("beta", 42)
+	tb.AddRow("gamma", float32(0.5))
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	out := tb.String()
+	for _, want := range []string{"== Demo ==", "name", "value", "alpha", "1.235", "42", "0.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// No title: no header line.
+	tb2 := NewTable("", "a")
+	tb2.AddRow("x")
+	if strings.Contains(tb2.String(), "==") {
+		t.Error("untitled table should have no title banner")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0, 10) != "" || Bar(5, 0) != "" {
+		t.Error("degenerate bars should be empty")
+	}
+	if got := Bar(5, 10); len(got) != 20 {
+		t.Errorf("half bar length = %d, want 20", len(got))
+	}
+	if got := Bar(100, 10); len(got) != 40 {
+		t.Errorf("overflow bar length = %d, want capped 40", len(got))
+	}
+}

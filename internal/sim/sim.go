@@ -1,0 +1,96 @@
+// Package sim composes a workload generator, the memory-consistency
+// trace transforms, remote coherence traffic and the epoch engine into a
+// single runnable simulation — the equivalent of one MLPsim invocation.
+package sim
+
+import (
+	"fmt"
+
+	"storemlp/internal/consistency"
+	"storemlp/internal/epoch"
+	"storemlp/internal/trace"
+	"storemlp/internal/uarch"
+	"storemlp/internal/workload"
+)
+
+// Spec describes one simulation run.
+type Spec struct {
+	// Workload selects and calibrates the trace generator.
+	Workload workload.Params
+	// Uarch is the machine configuration. Spec.Run sets its WarmInsts
+	// from Warm below.
+	Uarch uarch.Config
+	// Insts is the number of measured instructions (after warmup).
+	Insts int64
+	// Warm is the cache warmup prefix, excluded from statistics.
+	Warm int64
+	// DisableTraffic turns off remote coherence snoops even when
+	// Uarch.Nodes > 1 (single-node behaviour).
+	DisableTraffic bool
+	// SharedCore co-schedules a second copy of the workload (different
+	// seed) on the other core of the CMP, sharing the L2 — the paper's
+	// two-cores-per-L2 configuration.
+	SharedCore bool
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if err := s.Workload.Validate(); err != nil {
+		return err
+	}
+	if err := s.Uarch.Validate(); err != nil {
+		return err
+	}
+	if s.Insts <= 0 {
+		return fmt.Errorf("sim: non-positive instruction count %d", s.Insts)
+	}
+	if s.Warm < 0 {
+		return fmt.Errorf("sim: negative warmup %d", s.Warm)
+	}
+	return nil
+}
+
+// BuildSource constructs the instruction stream for the spec's memory
+// model: the generator emits a TSO (PC) trace; under WC the lock idioms
+// are rewritten to lwarx/stwcx/isync + lwsync exactly as the paper's
+// lock-detection tool does; under SLE the lock acquires become plain
+// loads and the releases vanish.
+func BuildSource(w workload.Params, cfg uarch.Config, total int64) trace.Source {
+	var src trace.Source = workload.NewGenerator(w)
+	if cfg.Model == consistency.WC {
+		src = consistency.RewriteWC(src)
+	}
+	if cfg.SLE {
+		src = consistency.ElideLocks(src)
+	}
+	if cfg.TM {
+		src = consistency.ApplyTM(src)
+	}
+	return trace.Limit(src, total)
+}
+
+// Run executes the simulation and returns the epoch statistics.
+func Run(s Spec) (*epoch.Stats, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := s.Uarch
+	cfg.WarmInsts = s.Warm
+	var opts []epoch.Option
+	if !s.DisableTraffic && cfg.Nodes > 1 && s.Workload.SnoopsPerKiloInst > 0 {
+		opts = append(opts, epoch.WithTraffic(s.Workload.Traffic(), s.Workload.Seed+1))
+	}
+	if s.SharedCore {
+		co := s.Workload
+		co.Seed += 13
+		// The co-runner is a separate process: disjoint address space.
+		co.AddrOffset = 1 << 44
+		opts = append(opts, epoch.WithSharedCore(workload.NewGenerator(co)))
+	}
+	eng, err := epoch.New(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	src := BuildSource(s.Workload, cfg, s.Warm+s.Insts)
+	return eng.Run(src)
+}

@@ -1,0 +1,199 @@
+package smac
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny() *SMAC {
+	// 16 entries, 2-way (8 sets), 2048B super-lines, 64B sub-blocks.
+	return New(Params{Entries: 16, Ways: 2, SuperLineBytes: 2048, SubBlockBytes: 64})
+}
+
+func TestParams(t *testing.T) {
+	p := DefaultParams(8192)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	if p.SubBlocks() != 32 {
+		t.Errorf("SubBlocks = %d, want 32", p.SubBlocks())
+	}
+	if p.CoverageBytes() != 16<<20 {
+		t.Errorf("Coverage = %d, want 16 MB", p.CoverageBytes())
+	}
+	bad := []Params{
+		{Entries: 0, Ways: 8, SuperLineBytes: 2048, SubBlockBytes: 64},
+		{Entries: 100, Ways: 8, SuperLineBytes: 2048, SubBlockBytes: 64},  // not divisible
+		{Entries: 24, Ways: 8, SuperLineBytes: 2048, SubBlockBytes: 64},   // sets=3
+		{Entries: 16, Ways: 8, SuperLineBytes: 2000, SubBlockBytes: 64},   // non-pow2
+		{Entries: 16, Ways: 8, SuperLineBytes: 2048, SubBlockBytes: 16},   // 128 sub-blocks
+		{Entries: 16, Ways: 8, SuperLineBytes: 2048, SubBlockBytes: 4096}, // 0 sub-blocks
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v should be invalid", p)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New should panic on bad params")
+		}
+	}()
+	New(Params{Entries: 7, Ways: 2, SuperLineBytes: 2048, SubBlockBytes: 64})
+}
+
+func TestNilSMAC(t *testing.T) {
+	var s *SMAC
+	s.RecordEviction(0x1000) // must not panic
+	if got := s.ProbeStore(0x1000); got != Miss {
+		t.Errorf("nil probe = %v", got)
+	}
+	if s.SnoopInvalidate(0x1000) {
+		t.Error("nil snoop should report false")
+	}
+	if s.OwnedSubBlocks() != 0 {
+		t.Error("nil owned != 0")
+	}
+}
+
+func TestEvictionThenHit(t *testing.T) {
+	s := tiny()
+	if got := s.ProbeStore(0x10040); got != Miss {
+		t.Fatalf("cold probe = %v", got)
+	}
+	s.RecordEviction(0x10040)
+	if s.OwnedSubBlocks() != 1 {
+		t.Fatalf("owned = %d", s.OwnedSubBlocks())
+	}
+	if got := s.ProbeStore(0x10040); got != Hit {
+		t.Fatalf("probe after eviction = %v", got)
+	}
+	// Ownership is consumed by the hit.
+	if got := s.ProbeStore(0x10040); got != Miss {
+		t.Fatalf("second probe = %v", got)
+	}
+	if s.Stats.Hits != 1 || s.Stats.Misses != 2 || s.Stats.Probes != 3 {
+		t.Errorf("stats = %+v", s.Stats)
+	}
+}
+
+func TestSubBlockGranularity(t *testing.T) {
+	s := tiny()
+	s.RecordEviction(0x10000) // sub-block 0 of super-line 0x10000
+	// Same super-line, different sub-block: miss.
+	if got := s.ProbeStore(0x10040); got != Miss {
+		t.Errorf("different sub-block = %v", got)
+	}
+	// Same sub-block, different offset inside it: hit.
+	s.RecordEviction(0x10000)
+	if got := s.ProbeStore(0x1003f); got != Hit {
+		t.Errorf("same sub-block offset = %v", got)
+	}
+}
+
+func TestSnoopInvalidate(t *testing.T) {
+	s := tiny()
+	s.RecordEviction(0x20000)
+	if !s.SnoopInvalidate(0x20000) {
+		t.Fatal("snoop should invalidate owned sub-block")
+	}
+	if s.SnoopInvalidate(0x20000) {
+		t.Error("second snoop should be a no-op")
+	}
+	if got := s.ProbeStore(0x20000); got != HitInvalidated {
+		t.Errorf("probe after snoop = %v", got)
+	}
+	if s.Stats.CoherenceInvalidates != 1 || s.Stats.HitInvalidated != 1 {
+		t.Errorf("stats = %+v", s.Stats)
+	}
+	// Re-eviction restores ownership and clears the invalidated mark.
+	s.RecordEviction(0x20000)
+	if got := s.ProbeStore(0x20000); got != Hit {
+		t.Errorf("probe after re-eviction = %v", got)
+	}
+}
+
+func TestSnoopAbsent(t *testing.T) {
+	s := tiny()
+	if s.SnoopInvalidate(0x999000) {
+		t.Error("snoop on absent entry should report false")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	s := tiny() // 8 sets x 2 ways; set = (addr>>11) & 7
+	// Three super-lines mapping to set 0: tags 0, 8, 16.
+	a := uint64(0 * 2048)
+	b := uint64(8 * 2048)
+	c := uint64(16 * 2048)
+	s.RecordEviction(a)
+	s.RecordEviction(b)
+	s.ProbeStore(a) // consumes a's bit but refreshes a's LRU
+	s.RecordEviction(a)
+	s.RecordEviction(c) // must evict b (LRU)
+	if s.Stats.EntryEvictions != 1 {
+		t.Fatalf("EntryEvictions = %d", s.Stats.EntryEvictions)
+	}
+	if got := s.ProbeStore(b); got != Miss {
+		t.Errorf("evicted entry probe = %v", got)
+	}
+	if got := s.ProbeStore(a); got != Hit {
+		t.Errorf("retained entry probe = %v", got)
+	}
+	if got := s.ProbeStore(c); got != Hit {
+		t.Errorf("new entry probe = %v", got)
+	}
+}
+
+func TestProbeResultString(t *testing.T) {
+	if Miss.String() != "miss" || Hit.String() != "hit" || HitInvalidated.String() != "hit-invalidated" {
+		t.Error("ProbeResult strings wrong")
+	}
+}
+
+// Property: RecordEviction(a) followed immediately by ProbeStore(a) is
+// always a Hit, and ownership is single-use.
+func TestEvictProbeProperty(t *testing.T) {
+	s := New(DefaultParams(1024))
+	f := func(a uint32) bool {
+		addr := uint64(a)
+		s.RecordEviction(addr)
+		if s.ProbeStore(addr) != Hit {
+			return false
+		}
+		return s.ProbeStore(addr) != Hit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: owned sub-block count never exceeds entries*subblocks and
+// never goes negative through any operation sequence.
+func TestOwnedBoundsProperty(t *testing.T) {
+	f := func(ops []uint32) bool {
+		s := tiny()
+		max := 16 * 32
+		for _, op := range ops {
+			addr := uint64(op &^ 3)
+			switch op % 3 {
+			case 0:
+				s.RecordEviction(addr)
+			case 1:
+				s.ProbeStore(addr)
+			case 2:
+				s.SnoopInvalidate(addr)
+			}
+			if n := s.OwnedSubBlocks(); n < 0 || n > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"storemlp/internal/isa"
+)
+
+// Binary trace format ("SMLT"):
+//
+//	header:  magic "SMLT" | version uvarint | count uvarint (0 = unknown)
+//	record:  op byte | flags byte | size byte | dst byte | src1 byte |
+//	         src2 byte | pc-delta varint | addr varint
+//
+// PC is delta-encoded against the previous record's PC (signed varint)
+// because instruction addresses are mostly sequential; effective
+// addresses are stored raw (uvarint) because they jump across regions.
+
+const (
+	magic   = "SMLT"
+	version = 1
+)
+
+// ErrBadMagic is returned when a reader input is not a storemlp trace.
+var ErrBadMagic = errors.New("trace: bad magic (not a storemlp trace file)")
+
+// Writer streams instructions to an io.Writer in the binary format.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	count  int64
+	buf    [2 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes a trace header to w and returns a Writer. count is the
+// number of instructions that will follow; pass 0 if unknown.
+func NewWriter(w io.Writer, count int64) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], version)
+	n += binary.PutUvarint(hdr[n:], uint64(count))
+	if _, err := bw.Write(hdr[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one instruction record.
+func (tw *Writer) Write(in isa.Inst) error {
+	fixed := [6]byte{byte(in.Op), byte(in.Flags), in.Size, byte(in.Dst), byte(in.Src1), byte(in.Src2)}
+	if _, err := tw.w.Write(fixed[:]); err != nil {
+		return err
+	}
+	n := binary.PutVarint(tw.buf[:], int64(in.PC)-int64(tw.lastPC))
+	n += binary.PutUvarint(tw.buf[n:], in.Addr)
+	tw.lastPC = in.PC
+	tw.count++
+	_, err := tw.w.Write(tw.buf[:n])
+	return err
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Count returns the number of records written so far.
+func (tw *Writer) Count() int64 { return tw.count }
+
+// WriteAll writes every instruction from src through a new Writer on w.
+func WriteAll(w io.Writer, src Source) (int64, error) {
+	tw, err := NewWriter(w, 0)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(in); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, tw.Flush()
+}
+
+// Reader streams instructions from a binary trace. It implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+	remain int64 // declared count, or -1 if unknown
+	err    error
+}
+
+// NewReader validates the header of r and returns a streaming Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, ErrBadMagic
+	}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	remain := int64(count)
+	if count == 0 {
+		remain = -1
+	}
+	return &Reader{r: br, remain: remain}, nil
+}
+
+// Next implements Source. A malformed record ends the stream; the error
+// is available via Err.
+func (tr *Reader) Next() (isa.Inst, bool) {
+	if tr.err != nil || tr.remain == 0 {
+		return isa.Inst{}, false
+	}
+	var fixed [6]byte
+	if _, err := io.ReadFull(tr.r, fixed[:]); err != nil {
+		if err != io.EOF {
+			tr.err = fmt.Errorf("trace: reading record: %w", err)
+		}
+		return isa.Inst{}, false
+	}
+	dpc, err := binary.ReadVarint(tr.r)
+	if err != nil {
+		tr.err = fmt.Errorf("trace: reading pc delta: %w", err)
+		return isa.Inst{}, false
+	}
+	addr, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		tr.err = fmt.Errorf("trace: reading addr: %w", err)
+		return isa.Inst{}, false
+	}
+	pc := uint64(int64(tr.lastPC) + dpc)
+	tr.lastPC = pc
+	if tr.remain > 0 {
+		tr.remain--
+	}
+	in := isa.Inst{
+		Op:    isa.Op(fixed[0]),
+		Flags: isa.Flags(fixed[1]),
+		Size:  fixed[2],
+		Dst:   isa.Reg(fixed[3]),
+		Src1:  isa.Reg(fixed[4]),
+		Src2:  isa.Reg(fixed[5]),
+		PC:    pc,
+		Addr:  addr,
+	}
+	if !in.Op.Valid() {
+		tr.err = fmt.Errorf("trace: invalid opcode %d", fixed[0])
+		return isa.Inst{}, false
+	}
+	return in, true
+}
+
+// Err returns the first decode error encountered, if any.
+func (tr *Reader) Err() error { return tr.err }

@@ -1,0 +1,127 @@
+// Package trace provides the dynamic instruction stream abstraction the
+// epoch MLP engine consumes, plus a binary on-disk trace format and
+// stream transforms (limit, concat, replay, statistics).
+//
+// The paper's MLPsim "reads in an instruction trace and a set of
+// microarchitecture parameters as inputs"; Source is that trace input.
+// Traces may come from the synthetic workload generators
+// (internal/workload), from files written by cmd/tracegen, or from
+// in-memory slices in tests.
+package trace
+
+import (
+	"storemlp/internal/isa"
+)
+
+// Source is a stream of dynamic instructions. Next returns the next
+// instruction and true, or a zero Inst and false at end of stream.
+// Sources are single-use; use a Replayable source to run the same stream
+// through multiple simulator configurations.
+type Source interface {
+	Next() (isa.Inst, bool)
+}
+
+// Replayable is a Source that can be reset to its beginning, so that
+// identical instruction streams can be fed to many configurations — the
+// way every multi-configuration figure in the paper is produced.
+type Replayable interface {
+	Source
+	Reset()
+}
+
+// Slice is an in-memory trace. It implements Replayable.
+type Slice struct {
+	Insts []isa.Inst
+	pos   int
+}
+
+// NewSlice wraps insts in a replayable source.
+func NewSlice(insts []isa.Inst) *Slice { return &Slice{Insts: insts} }
+
+// Next implements Source.
+func (s *Slice) Next() (isa.Inst, bool) {
+	if s.pos >= len(s.Insts) {
+		return isa.Inst{}, false
+	}
+	in := s.Insts[s.pos]
+	s.pos++
+	return in, true
+}
+
+// Reset implements Replayable.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Len returns the total number of instructions in the trace.
+func (s *Slice) Len() int { return len(s.Insts) }
+
+// Collect drains src into a Slice. It is intended for tests and for
+// materializing generator output before writing it to disk.
+func Collect(src Source) *Slice {
+	var insts []isa.Inst
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		insts = append(insts, in)
+	}
+	return NewSlice(insts)
+}
+
+// limited truncates a source after n instructions.
+type limited struct {
+	src Source
+	n   int64
+}
+
+// Limit returns a Source that yields at most n instructions from src.
+func Limit(src Source, n int64) Source { return &limited{src: src, n: n} }
+
+func (l *limited) Next() (isa.Inst, bool) {
+	if l.n <= 0 {
+		return isa.Inst{}, false
+	}
+	l.n--
+	return l.src.Next()
+}
+
+// concat chains sources end to end.
+type concat struct {
+	srcs []Source
+}
+
+// Concat returns a Source that yields all of the given sources in order.
+func Concat(srcs ...Source) Source { return &concat{srcs: srcs} }
+
+func (c *concat) Next() (isa.Inst, bool) {
+	for len(c.srcs) > 0 {
+		in, ok := c.srcs[0].Next()
+		if ok {
+			return in, true
+		}
+		c.srcs = c.srcs[1:]
+	}
+	return isa.Inst{}, false
+}
+
+// Func adapts a function to the Source interface.
+type Func func() (isa.Inst, bool)
+
+// Next implements Source.
+func (f Func) Next() (isa.Inst, bool) { return f() }
+
+// Map returns a Source that applies fn to every instruction of src.
+// fn may return false to drop the instruction from the stream.
+func Map(src Source, fn func(isa.Inst) (isa.Inst, bool)) Source {
+	return Func(func() (isa.Inst, bool) {
+		for {
+			in, ok := src.Next()
+			if !ok {
+				return isa.Inst{}, false
+			}
+			if out, keep := fn(in); keep {
+				return out, true
+			}
+		}
+	})
+}

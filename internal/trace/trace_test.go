@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"storemlp/internal/isa"
+)
+
+func mkInst(i int) isa.Inst {
+	return isa.Inst{
+		PC:   uint64(0x10000 + 4*i),
+		Addr: uint64(0x2000 + 8*i),
+		Op:   isa.Op(i % isa.NumOps),
+		Size: 8,
+		Dst:  isa.Reg(i % isa.RegCount),
+		Src1: isa.Reg((i + 1) % isa.RegCount),
+		Src2: isa.Reg((i + 2) % isa.RegCount),
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	insts := []isa.Inst{mkInst(0), mkInst(1), mkInst(2)}
+	s := NewSlice(insts)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for i := 0; i < 3; i++ {
+		in, ok := s.Next()
+		if !ok {
+			t.Fatalf("Next() ended early at %d", i)
+		}
+		if in != insts[i] {
+			t.Errorf("inst %d = %v, want %v", i, in, insts[i])
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("Next() should be exhausted")
+	}
+	s.Reset()
+	if in, ok := s.Next(); !ok || in != insts[0] {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := NewSlice([]isa.Inst{mkInst(0), mkInst(1), mkInst(2), mkInst(3)})
+	l := Limit(s, 2)
+	n := 0
+	for {
+		_, ok := l.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("Limit yielded %d, want 2", n)
+	}
+	// Limit longer than source just drains it.
+	s.Reset()
+	if got := Collect(Limit(s, 100)).Len(); got != 4 {
+		t.Errorf("over-limit yielded %d, want 4", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewSlice([]isa.Inst{mkInst(0), mkInst(1)})
+	b := NewSlice(nil)
+	c := NewSlice([]isa.Inst{mkInst(2)})
+	got := Collect(Concat(a, b, c))
+	if got.Len() != 3 {
+		t.Fatalf("Concat yielded %d, want 3", got.Len())
+	}
+	if got.Insts[2] != mkInst(2) {
+		t.Errorf("last inst = %v", got.Insts[2])
+	}
+}
+
+func TestMap(t *testing.T) {
+	src := NewSlice([]isa.Inst{mkInst(0), mkInst(1), mkInst(2)})
+	// Drop odd-index ops, tag the rest.
+	out := Collect(Map(src, func(in isa.Inst) (isa.Inst, bool) {
+		if in.Op == isa.Op(1) {
+			return isa.Inst{}, false
+		}
+		in.Flags |= isa.FlagShared
+		return in, true
+	}))
+	if out.Len() != 2 {
+		t.Fatalf("Map yielded %d, want 2", out.Len())
+	}
+	for _, in := range out.Insts {
+		if !in.Flags.Has(isa.FlagShared) {
+			t.Error("Map did not apply transform")
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var insts []isa.Inst
+	for i := 0; i < 1000; i++ {
+		insts = append(insts, mkInst(i))
+	}
+	var buf bytes.Buffer
+	n, err := WriteAll(&buf, NewSlice(insts))
+	if err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	if n != 1000 {
+		t.Fatalf("wrote %d, want 1000", n)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	got := Collect(r)
+	if r.Err() != nil {
+		t.Fatalf("reader error: %v", r.Err())
+	}
+	if !reflect.DeepEqual(got.Insts, insts) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("NOPE....")); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSlice([]isa.Inst{mkInst(0), mkInst(1)})); err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record: header is 4 (magic) + 2 (version,count) bytes.
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	got := Collect(r)
+	if got.Len() != 1 {
+		t.Errorf("truncated trace yielded %d records, want 1", got.Len())
+	}
+	if r.Err() == nil {
+		t.Error("expected decode error on truncated record")
+	}
+}
+
+func TestCodecInvalidOpcode(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := isa.Inst{Op: isa.Op(200)}
+	if err := w.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("invalid opcode should end the stream")
+	}
+	if r.Err() == nil {
+		t.Error("expected invalid-opcode error")
+	}
+}
+
+// Property: the codec round-trips arbitrary valid instructions.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(pcs []uint64, addrs []uint64, raw []byte) bool {
+		n := len(pcs)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(raw) < n {
+			n = len(raw)
+		}
+		insts := make([]isa.Inst, n)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < n; i++ {
+			insts[i] = isa.Inst{
+				PC:    pcs[i],
+				Addr:  addrs[i],
+				Op:    isa.Op(raw[i] % uint8(isa.NumOps)),
+				Size:  uint8(1 + rng.Intn(64)),
+				Dst:   isa.Reg(rng.Intn(isa.RegCount)),
+				Src1:  isa.Reg(rng.Intn(isa.RegCount)),
+				Src2:  isa.Reg(rng.Intn(isa.RegCount)),
+				Flags: isa.Flags(raw[i] & 0x0f),
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := WriteAll(&buf, NewSlice(insts)); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got := Collect(r)
+		if r.Err() != nil {
+			return false
+		}
+		if len(got.Insts) != n {
+			return false
+		}
+		for i := range insts {
+			if got.Insts[i] != insts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpALU},
+		{Op: isa.OpLoad, Flags: isa.FlagShared, Addr: 1, Size: 8},
+		{Op: isa.OpStore, Addr: 2, Size: 8},
+		{Op: isa.OpCASA, Flags: isa.FlagLockAcquire, Addr: 3, Size: 8},
+		{Op: isa.OpStore, Flags: isa.FlagLockRelease, Addr: 3, Size: 8},
+		{Op: isa.OpBranch, Flags: isa.FlagMispredict},
+	}
+	s := Gather(NewSlice(insts))
+	if s.Total != 6 {
+		t.Errorf("Total = %d", s.Total)
+	}
+	if s.Loads() != 2 { // load + casa
+		t.Errorf("Loads = %d, want 2", s.Loads())
+	}
+	if s.Stores() != 3 { // 2 stores + casa
+		t.Errorf("Stores = %d, want 3", s.Stores())
+	}
+	if s.LockAcquire != 1 || s.LockRelease != 1 {
+		t.Errorf("locks = %d/%d", s.LockAcquire, s.LockRelease)
+	}
+	if s.SharedMem != 1 {
+		t.Errorf("SharedMem = %d", s.SharedMem)
+	}
+	if s.Mispredicts != 1 {
+		t.Errorf("Mispredicts = %d", s.Mispredicts)
+	}
+	if got := s.Per100(3); got != 50 {
+		t.Errorf("Per100(3) = %v, want 50", got)
+	}
+	if s.String() == "" {
+		t.Error("String() empty")
+	}
+	var empty Stats
+	if empty.Per100(5) != 0 {
+		t.Error("Per100 on empty stats should be 0")
+	}
+}

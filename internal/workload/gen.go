@@ -1,0 +1,423 @@
+package workload
+
+import (
+	"math/rand"
+
+	"storemlp/internal/isa"
+)
+
+// Generator synthesizes an infinite, deterministic instruction stream
+// for one workload. It implements trace.Replayable: Reset rewinds to the
+// beginning of the identical stream, which is how every
+// multi-configuration figure feeds the same trace to each configuration.
+type Generator struct {
+	p   Params
+	rng *rand.Rand
+
+	// Emission queue for multi-instruction groups (critical sections,
+	// bursts).
+	queue []isa.Inst
+	qHead int
+
+	// Program counter state: a sweep cursor through the hot code region,
+	// with excursions onto cold code lines that resume the sweep where
+	// it left off.
+	pc       uint64
+	coldPC   uint64
+	coldLeft int // instructions remaining on a cold code line
+
+	// Scheduled-event countdowns, in instructions.
+	nextLock     int64
+	nextMembar   int64
+	nextMispred  int64
+	nextColdCode int64
+
+	// Per-slot probabilities derived from Params.
+	pStore, pLoad, pBranch float64
+	scatterBurstProb       float64 // per store: start a scattered miss burst
+	preBurstProb           float64 // per lock: emit a pre-acquire miss burst
+	loadBurstProb          float64 // per load: start a load miss burst
+
+	// Burst state. Store bursts advance in sub-line steps of
+	// 64/StoresPerLine bytes: the first store to each line misses, the
+	// rest are coalescing fodder.
+	storeBurstLeft int
+	storeBurstAddr uint64
+	storeBurstStep uint64
+	storeBurstShrd bool
+	loadBurstLeft  int
+	loadBurstAddr  uint64
+
+	// Cyclic sweep cursors for the store churn regions: private data is
+	// "repeatedly brought into the L2 cache, modified and then evicted"
+	// (§3.3.3), so store misses revisit earlier lines once the sweep
+	// wraps — by which time the lines have been evicted, which is
+	// exactly the reuse pattern the SMAC exploits.
+	storeCursor  uint64
+	sharedCursor uint64
+
+	// Dependence state.
+	lastLoadDst isa.Reg
+	lastMissDst isa.Reg
+	regRR       uint8
+
+	// Branch outcome state (for the optional front-end model).
+	altBranch bool
+}
+
+// NewGenerator builds a generator; it panics on invalid parameters
+// (calibrations are compile-time constants in this package).
+func NewGenerator(p Params) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Generator{p: p}
+	g.Reset()
+	return g
+}
+
+// Params returns the generator's calibration.
+func (g *Generator) Params() Params { return g.p }
+
+// Reset rewinds the generator to the start of its deterministic stream.
+func (g *Generator) Reset() {
+	p := g.p
+	g.rng = rand.New(rand.NewSource(p.Seed))
+	g.queue = g.queue[:0]
+	g.qHead = 0
+	g.pc = g.p.AddrOffset + hotCodeBase
+	g.coldLeft = 0
+	g.storeBurstLeft = 0
+	g.loadBurstLeft = 0
+	g.lastLoadDst = 0
+	g.lastMissDst = 0
+	g.regRR = 0
+
+	g.pStore = p.StorePer100 / 100
+	g.pLoad = p.LoadPer100 / 100
+	g.pBranch = p.BranchPer100 / 100
+
+	g.storeBurstStep = lineBytes / uint64(g.storesPerLine())
+
+	storesPer1000 := p.StorePer100 * 10
+	loadsPer1000 := p.LoadPer100 * 10
+	burstsPer1000 := p.StoreMissPer100 * 10 / p.StoreBurstMean
+	preBurstPerLock := 0.0
+	if p.LocksPer1000 > 0 {
+		preBurstPerLock = p.PreLockFrac * burstsPer1000 / p.LocksPer1000
+		if preBurstPerLock > 1 {
+			preBurstPerLock = 1
+		}
+	}
+	g.preBurstProb = preBurstPerLock
+	actualPre := preBurstPerLock * p.LocksPer1000
+	scatter := burstsPer1000 - actualPre
+	if scatter < 0 {
+		scatter = 0
+	}
+	g.scatterBurstProb = scatter / storesPer1000
+	g.loadBurstProb = p.LoadMissPer100 * 10 / p.LoadBurstMean / loadsPer1000
+
+	g.storeCursor = 0
+	g.sharedCursor = 0
+	g.nextLock = g.interval(p.LocksPer1000)
+	g.nextMembar = g.interval(p.MembarPer1000)
+	g.nextMispred = g.interval(p.MispredPer1000)
+	if p.InstMissPer100 > 0 {
+		g.nextColdCode = g.interval(p.InstMissPer100 * 10)
+	} else {
+		g.nextColdCode = -1
+	}
+}
+
+// interval samples an exponential gap (in instructions) for an event
+// rate given per 1000 instructions; -1 means "never".
+func (g *Generator) interval(per1000 float64) int64 {
+	if per1000 <= 0 {
+		return -1
+	}
+	gap := int64(g.rng.ExpFloat64() * 1000 / per1000)
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+// geometric samples a burst length with the given mean (>= 1).
+func (g *Generator) geometric(mean float64) int {
+	n := 1
+	p := 1 - 1/mean
+	for g.rng.Float64() < p && n < 32 {
+		n++
+	}
+	return n
+}
+
+// branchTaken produces per-branch-PC outcome behaviour: most branches
+// are strongly biased (easily predicted), a slice alternate (learnable
+// by global history), and a few are data-dependent noise.
+func (g *Generator) branchTaken(pc uint64) bool {
+	switch (pc >> 2) % 8 {
+	case 6:
+		return g.rng.Float64() < 0.02 // strongly not-taken
+	case 7:
+		g.altBranch = !g.altBranch // alternating loop-exit style
+		return g.altBranch
+	default:
+		return g.rng.Float64() < 0.98 // strongly taken
+	}
+}
+
+func (g *Generator) nextReg() isa.Reg {
+	g.regRR++
+	return isa.Reg(8 + g.regRR%32)
+}
+
+// nextPC advances the instruction address: sequentially within the
+// current (hot or cold) code line, returning to the hot region sweep
+// when a cold excursion ends. The hot sweep wraps within hotCodeSize so
+// the code footprint fits the L2 but overflows the L1I.
+func (g *Generator) nextPC() uint64 {
+	if g.coldLeft > 0 {
+		g.coldLeft--
+		g.coldPC += 4
+		return g.coldPC
+	}
+	g.pc += 4
+	if g.pc >= g.p.AddrOffset+hotCodeBase+hotCodeSize || g.pc < g.p.AddrOffset+hotCodeBase {
+		g.pc = g.p.AddrOffset + hotCodeBase
+	}
+	return g.pc
+}
+
+func (g *Generator) hotLine() uint64 {
+	return g.p.AddrOffset + hotDataBase + uint64(g.rng.Intn(hotDataSize/lineBytes))*lineBytes
+}
+
+func (g *Generator) churnLine(base uint64, size int64) uint64 {
+	return g.p.AddrOffset + base + uint64(g.rng.Int63n(size/lineBytes))*lineBytes
+}
+
+// Next implements trace.Source. The stream is infinite; wrap with
+// trace.Limit.
+func (g *Generator) Next() (isa.Inst, bool) {
+	if g.qHead < len(g.queue) {
+		in := g.queue[g.qHead]
+		g.qHead++
+		if g.qHead == len(g.queue) {
+			g.queue = g.queue[:0]
+			g.qHead = 0
+		}
+		g.tick()
+		return in, true
+	}
+
+	// Scheduled multi-instruction events.
+	if g.nextLock == 0 {
+		g.nextLock = g.interval(g.p.LocksPer1000)
+		g.emitCriticalSection()
+		return g.Next()
+	}
+	if g.nextMembar == 0 {
+		g.nextMembar = g.interval(g.p.MembarPer1000)
+		g.push(isa.Inst{Op: isa.OpMembar, PC: g.nextPC()})
+		return g.Next()
+	}
+	if g.nextMispred == 0 {
+		g.nextMispred = g.interval(g.p.MispredPer1000)
+		in := isa.Inst{Op: isa.OpBranch, PC: g.nextPC(), Src1: g.lastLoadDst, Flags: isa.FlagMispredict}
+		// A hard-to-predict branch: random direction, so the modelled
+		// gshare mispredicts it about half the time too.
+		if g.rng.Float64() < 0.5 {
+			in.Flags |= isa.FlagTaken
+		}
+		g.push(in)
+		return g.Next()
+	}
+	if g.nextColdCode == 0 {
+		g.nextColdCode = g.interval(g.p.InstMissPer100 * 10)
+		// Jump to a fresh-ish cold code line and execute a few
+		// instructions there: one off-chip instruction fetch. The hot
+		// sweep resumes where it left off afterwards.
+		g.coldPC = g.churnLine(coldCodeBase, g.p.CodeWSBytes) - 4
+		g.coldLeft = 4 + g.rng.Intn(8)
+	}
+
+	in := g.emitPlain()
+	g.tick()
+	return in, true
+}
+
+// tick advances the scheduled-event countdowns by one instruction.
+func (g *Generator) tick() {
+	if g.nextLock > 0 {
+		g.nextLock--
+	}
+	if g.nextMembar > 0 {
+		g.nextMembar--
+	}
+	if g.nextMispred > 0 {
+		g.nextMispred--
+	}
+	if g.nextColdCode > 0 {
+		g.nextColdCode--
+	}
+}
+
+func (g *Generator) push(ins ...isa.Inst) {
+	g.queue = append(g.queue, ins...)
+}
+
+// emitPlain produces one instruction of the background mix.
+func (g *Generator) emitPlain() isa.Inst {
+	r := g.rng.Float64()
+	switch {
+	case r < g.pStore:
+		return g.emitStore()
+	case r < g.pStore+g.pLoad:
+		return g.emitLoad()
+	case r < g.pStore+g.pLoad+g.pBranch:
+		in := isa.Inst{Op: isa.OpBranch, PC: g.nextPC(), Src1: g.lastLoadDst}
+		if g.branchTaken(in.PC) {
+			in.Flags |= isa.FlagTaken
+		}
+		return in
+	default:
+		dst := g.nextReg()
+		src := isa.Reg(0)
+		if g.rng.Float64() < 0.3 {
+			src = g.lastLoadDst
+		}
+		return isa.Inst{Op: isa.OpALU, PC: g.nextPC(), Dst: dst, Src1: src}
+	}
+}
+
+func (g *Generator) emitStore() isa.Inst {
+	in := isa.Inst{Op: isa.OpStore, PC: g.nextPC(), Size: 8, Src1: g.nextReg()}
+	switch {
+	case g.storeBurstLeft > 0:
+		g.emitBurstStore(&in)
+	case g.rng.Float64() < g.scatterBurstProb:
+		g.startStoreBurst()
+		g.emitBurstStore(&in)
+	default:
+		in.Addr = g.hotLine() + uint64(g.rng.Intn(8))*8
+	}
+	return in
+}
+
+func (g *Generator) emitBurstStore(in *isa.Inst) {
+	g.storeBurstLeft--
+	in.Addr = g.storeBurstAddr
+	g.storeBurstAddr += g.storeBurstStep
+	if g.storeBurstShrd {
+		in.Flags |= isa.FlagShared
+	}
+}
+
+func (g *Generator) storesPerLine() int {
+	if g.p.StoresPerLine < 1 {
+		return 1
+	}
+	return g.p.StoresPerLine
+}
+
+func (g *Generator) startStoreBurst() {
+	lines := g.geometric(g.p.StoreBurstMean)
+	g.storeBurstLeft = lines * g.storesPerLine()
+	g.storeBurstShrd = g.rng.Float64() < g.p.SharedStoreFrac
+	g.storeBurstAddr = g.nextChurnBurst(g.storeBurstShrd, lines)
+}
+
+// nextChurnBurst returns the base line of the next store-miss burst,
+// advancing the cyclic sweep cursor of the private or shared churn
+// region by the burst footprint.
+func (g *Generator) nextChurnBurst(shared bool, lines int) uint64 {
+	span := uint64(lines) * lineBytes
+	if shared {
+		base := g.p.AddrOffset + sharedWSBase + g.sharedCursor
+		g.sharedCursor += span
+		if g.sharedCursor >= uint64(g.p.SharedWSBytes) {
+			g.sharedCursor = 0
+		}
+		return base
+	}
+	base := g.p.AddrOffset + storeWSBase + g.storeCursor
+	g.storeCursor += span
+	if g.storeCursor >= uint64(g.p.StoreWSBytes) {
+		g.storeCursor = 0
+	}
+	return base
+}
+
+func (g *Generator) emitLoad() isa.Inst {
+	in := isa.Inst{Op: isa.OpLoad, PC: g.nextPC(), Size: 8, Dst: g.nextReg()}
+	miss := false
+	switch {
+	case g.loadBurstLeft > 0:
+		g.loadBurstLeft--
+		in.Addr = g.loadBurstAddr
+		g.loadBurstAddr += lineBytes
+		miss = true
+	case g.rng.Float64() < g.loadBurstProb:
+		g.loadBurstLeft = g.geometric(g.p.LoadBurstMean) - 1
+		g.loadBurstAddr = g.churnLine(loadWSBase, g.p.LoadWSBytes)
+		in.Addr = g.loadBurstAddr
+		g.loadBurstAddr += lineBytes
+		miss = true
+	default:
+		in.Addr = g.hotLine() + uint64(g.rng.Intn(8))*8
+	}
+	if miss {
+		// Pointer chasing: some missing loads depend on the previous
+		// missing load's value.
+		if g.lastMissDst != 0 && g.rng.Float64() < g.p.DepLoadFrac {
+			in.Src1 = g.lastMissDst
+		}
+		g.lastMissDst = in.Dst
+	}
+	g.lastLoadDst = in.Dst
+	return in
+}
+
+// emitCriticalSection queues a lock acquire (casa under TSO), a short
+// body, and the releasing store — optionally preceded by a burst of
+// missing stores, reproducing the paper's observation that most
+// expensive missing stores immediately precede lock acquires.
+func (g *Generator) emitCriticalSection() {
+	if g.rng.Float64() < g.preBurstProb {
+		lines := g.geometric(g.p.StoreBurstMean)
+		shared := g.rng.Float64() < g.p.SharedStoreFrac
+		base := g.nextChurnBurst(shared, lines)
+		var fl isa.Flags
+		if shared {
+			fl = isa.FlagShared
+		}
+		for i := 0; i < lines*g.storesPerLine(); i++ {
+			g.push(isa.Inst{
+				Op: isa.OpStore, PC: g.nextPC(), Size: 8,
+				Addr: base + uint64(i)*g.storeBurstStep, Src1: g.nextReg(), Flags: fl,
+			})
+		}
+	}
+	lock := g.p.AddrOffset + lockBase + uint64(g.rng.Intn(lockCount))*lineBytes
+	g.push(isa.Inst{
+		Op: isa.OpCASA, PC: g.nextPC(), Addr: lock, Size: 8,
+		Dst: g.nextReg(), Flags: isa.FlagLockAcquire,
+	})
+	for i := 0; i < critBodyLen; i++ {
+		r := g.rng.Float64()
+		switch {
+		case r < 0.30:
+			g.push(isa.Inst{Op: isa.OpLoad, PC: g.nextPC(), Addr: g.hotLine(), Size: 8, Dst: g.nextReg()})
+		case r < 0.45:
+			g.push(isa.Inst{Op: isa.OpStore, PC: g.nextPC(), Addr: g.hotLine(), Size: 8, Src1: g.nextReg()})
+		default:
+			g.push(isa.Inst{Op: isa.OpALU, PC: g.nextPC(), Dst: g.nextReg()})
+		}
+	}
+	g.push(isa.Inst{
+		Op: isa.OpStore, PC: g.nextPC(), Addr: lock, Size: 8,
+		Src1: g.nextReg(), Flags: isa.FlagLockRelease,
+	})
+}

@@ -1,0 +1,226 @@
+// Package storemlp reproduces "Store Memory-Level Parallelism
+// Optimizations for Commercial Applications" (Chou, Spracklen, Abraham —
+// MICRO 2005).
+//
+// The package is a Go implementation of MLPsim, the paper's epoch
+// memory-level-parallelism simulator, together with every system it
+// depends on: synthetic commercial workload generators calibrated to the
+// paper's Table 1 (database/OLTP, TPC-W, SPECjbb2000, SPECweb99), a
+// cache hierarchy with MESI states, cross-chip coherence traffic, the
+// SPARC-TSO and PowerPC memory consistency models with the paper's
+// lock-detection/rewriting tool, and the store optimizations the paper
+// proposes and evaluates: store coalescing, store prefetching (at retire
+// and at execute), the Store Miss Accelerator (SMAC), Speculative Lock
+// Elision, prefetch past serializing instructions, and Hardware Scout
+// including the HWS2 store-stall trigger.
+//
+// Quick start:
+//
+//	stats, err := storemlp.Run(storemlp.RunSpec{
+//		Workload: storemlp.Database(1),
+//		Config:   storemlp.DefaultConfig(),
+//		Insts:    2_000_000,
+//		Warm:     1_000_000,
+//	})
+//	fmt.Printf("EPI = %.2f epochs/1000 insts\n", stats.EPI())
+//
+// The experiment harness (Table1 .. Figure8, plus ablations) regenerates
+// every table and figure of the paper's evaluation; see EXPERIMENTS.md
+// for measured-vs-paper results.
+package storemlp
+
+import (
+	"fmt"
+	"io"
+
+	"storemlp/internal/consistency"
+	"storemlp/internal/cyclesim"
+	"storemlp/internal/epoch"
+	"storemlp/internal/experiments"
+	"storemlp/internal/onchip"
+	"storemlp/internal/sim"
+	"storemlp/internal/trace"
+	"storemlp/internal/uarch"
+	"storemlp/internal/workload"
+)
+
+// Workload calibrates a synthetic commercial workload generator.
+type Workload = workload.Params
+
+// Config is the simulated machine description (§4.3 of the paper plus
+// every optimization knob).
+type Config = uarch.Config
+
+// Stats is the output of one simulation run: EPI, MLP, store MLP,
+// termination-condition and MLP distributions, and substrate counters.
+type Stats = epoch.Stats
+
+// Memory consistency models.
+const (
+	// PC is processor consistency (SPARC TSO).
+	PC = consistency.PC
+	// WC is weak consistency (PowerPC).
+	WC = consistency.WC
+)
+
+// Store prefetching modes (§3.3.2).
+const (
+	Sp0 = uarch.Sp0 // no store prefetching
+	Sp1 = uarch.Sp1 // prefetch at retire
+	Sp2 = uarch.Sp2 // prefetch at execute
+)
+
+// Hardware Scout modes (§3.3.5, §5.4).
+const (
+	NoHWS = uarch.NoHWS
+	HWS0  = uarch.HWS0
+	HWS1  = uarch.HWS1
+	HWS2  = uarch.HWS2 // + scout on store-stall: the paper's proposal
+)
+
+// Workload constructors (the paper's four benchmarks).
+var (
+	Database = workload.Database
+	TPCW     = workload.TPCW
+	SPECjbb  = workload.SPECjbb
+	SPECweb  = workload.SPECweb
+)
+
+// AllWorkloads returns the four workloads in the paper's order.
+func AllWorkloads(seed int64) []Workload { return workload.All(seed) }
+
+// WorkloadByName resolves "database", "tpcw", "specjbb" or "specweb".
+func WorkloadByName(name string, seed int64) (Workload, error) {
+	return workload.ByName(name, seed)
+}
+
+// DefaultConfig returns the paper's default processor configuration:
+// 64-entry ROB, 16-entry store buffer, 32-entry store queue, store
+// prefetch at retire, 8-byte coalescing, processor consistency, 500
+// cycle miss penalty, 2 MB shared L2.
+func DefaultConfig() Config { return uarch.Default() }
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	Workload Workload
+	Config   Config
+	// Insts is the number of measured instructions; Warm the cache
+	// warmup prefix excluded from statistics.
+	Insts int64
+	Warm  int64
+	// DisableTraffic suppresses remote-node coherence snoops.
+	DisableTraffic bool
+	// SharedCore co-schedules a second copy of the workload on the other
+	// core of the CMP, sharing the L2 (the paper's two-cores-per-L2
+	// configuration); it exerts cache pressure only.
+	SharedCore bool
+}
+
+// Run executes one simulation: the workload generator's TSO trace is
+// rewritten for WC and/or SLE as the configuration requires, then driven
+// through the epoch MLP engine.
+func Run(s RunSpec) (*Stats, error) {
+	return sim.Run(sim.Spec{
+		Workload:       s.Workload,
+		Uarch:          s.Config,
+		Insts:          s.Insts,
+		Warm:           s.Warm,
+		DisableTraffic: s.DisableTraffic,
+		SharedCore:     s.SharedCore,
+	})
+}
+
+// WriteTrace generates n instructions of the workload — transformed for
+// the configuration's consistency model and SLE setting — into w using
+// the binary trace format. It returns the number of records written.
+func WriteTrace(w io.Writer, wk Workload, cfg Config, n int64) (int64, error) {
+	if err := wk.Validate(); err != nil {
+		return 0, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("storemlp: non-positive trace length %d", n)
+	}
+	return trace.WriteAll(w, sim.BuildSource(wk, cfg, n))
+}
+
+// RunTrace drives a previously written binary trace through the epoch
+// engine. The trace is used as-is: no consistency rewriting is applied
+// (use cmd/lockdetect or WriteTrace for that).
+func RunTrace(r io.Reader, cfg Config, warm int64) (*Stats, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg.WarmInsts = warm
+	eng, err := epoch.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := eng.Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Err() != nil {
+		return nil, tr.Err()
+	}
+	return stats, nil
+}
+
+// OverallCPI combines an on-chip CPI, its overlap fraction, and a run's
+// epochs-per-instruction into overall CPI (§3.4).
+func OverallCPI(cpiOnChip, overlap float64, s *Stats, missPenalty int) float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return onchip.OverallCPI(cpiOnChip, overlap, float64(s.Epochs)/float64(s.Insts), missPenalty)
+}
+
+// CycleStats is the output of the simplified cycle-level validator.
+type CycleStats = cyclesim.Stats
+
+// RunCycleLevel drives the same workload through the simplified
+// cycle-level simulator (internal/cyclesim) that cross-validates the
+// epoch engine, the way the paper validates MLPsim against its
+// cycle-accurate simulator. Its Overlap() output is the §3.4 Overlap
+// term for translating EPI into overall CPI.
+func RunCycleLevel(s RunSpec) (*CycleStats, error) {
+	cfg := s.Config
+	cfg.WarmInsts = s.Warm
+	cs, err := cyclesim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Run(sim.BuildSource(s.Workload, cfg, s.Warm+s.Insts))
+}
+
+// ExperimentConfig sizes the table/figure harness.
+type ExperimentConfig = experiments.Config
+
+// DefaultExperimentConfig returns the full-scale harness configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// The experiment harness: one function per table and figure of the
+// paper's evaluation, plus ablations. See internal/experiments for the
+// row types.
+var (
+	Table1               = experiments.Table1
+	Table2               = experiments.Table2
+	Table3               = experiments.Table3
+	Figure2              = experiments.Figure2
+	Figure3              = experiments.Figure3
+	Figure4              = experiments.Figure4
+	Figure5              = experiments.Figure5
+	Figure6              = experiments.Figure6
+	Figure7              = experiments.Figure7
+	Figure8              = experiments.Figure8
+	AblationCoalescing   = experiments.AblationCoalescing
+	AblationBandwidth    = experiments.AblationBandwidth
+	AblationScoutReach   = experiments.AblationScoutReach
+	AblationLockElision  = experiments.AblationLockElision
+	AblationSharedL2     = experiments.AblationSharedL2
+	AblationSMACGeometry = experiments.AblationSMACGeometry
+	RunAblations         = experiments.RunAblations
+)

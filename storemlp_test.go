@@ -1,0 +1,113 @@
+package storemlp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRunFacade(t *testing.T) {
+	s, err := Run(RunSpec{
+		Workload: TPCW(1),
+		Config:   DefaultConfig(),
+		Insts:    200_000,
+		Warm:     100_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Insts != 200_000 {
+		t.Errorf("Insts = %d", s.Insts)
+	}
+	if s.EPI() <= 0 || s.MLP() <= 0 {
+		t.Errorf("EPI=%v MLP=%v", s.EPI(), s.MLP())
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	w, err := WorkloadByName("specweb", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "specweb" {
+		t.Errorf("Name = %q", w.Name)
+	}
+	if _, err := WorkloadByName("nope", 3); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if got := AllWorkloads(1); len(got) != 4 {
+		t.Errorf("AllWorkloads = %d entries", len(got))
+	}
+}
+
+func TestTraceRoundTripFacade(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := DefaultConfig()
+	n, err := WriteTrace(&buf, SPECjbb(2), cfg, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 150_000 {
+		t.Fatalf("wrote %d records", n)
+	}
+	s, err := RunTrace(&buf, cfg, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Insts != 100_000 {
+		t.Errorf("measured %d insts", s.Insts)
+	}
+	if s.EPI() <= 0 {
+		t.Error("trace-driven run should produce epochs")
+	}
+}
+
+func TestWriteTraceErrors(t *testing.T) {
+	var buf bytes.Buffer
+	bad := Database(1)
+	bad.Name = ""
+	if _, err := WriteTrace(&buf, bad, DefaultConfig(), 10); err == nil {
+		t.Error("invalid workload should error")
+	}
+	cfg := DefaultConfig()
+	cfg.ROB = 0
+	if _, err := WriteTrace(&buf, Database(1), cfg, 10); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := WriteTrace(&buf, Database(1), DefaultConfig(), 0); err == nil {
+		t.Error("zero length should error")
+	}
+	if _, err := RunTrace(bytes.NewBufferString("JUNKJUNK"), DefaultConfig(), 0); err == nil {
+		t.Error("junk trace should error")
+	}
+}
+
+func TestWCTraceGeneration(t *testing.T) {
+	var pcBuf, wcBuf bytes.Buffer
+	pcCfg := DefaultConfig()
+	if _, err := WriteTrace(&pcBuf, TPCW(1), pcCfg, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	wcCfg := DefaultConfig()
+	wcCfg.Model = WC
+	if _, err := WriteTrace(&wcBuf, TPCW(1), wcCfg, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(pcBuf.Bytes(), wcBuf.Bytes()) {
+		t.Error("WC trace should differ from PC trace")
+	}
+}
+
+func TestOverallCPI(t *testing.T) {
+	s, err := Run(RunSpec{Workload: SPECweb(1), Config: DefaultConfig(), Insts: 100_000, Warm: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overall := OverallCPI(1.38, 0.2, s, 500)
+	if overall <= 1.38*0.8 {
+		t.Errorf("overall CPI = %v should exceed the on-chip part", overall)
+	}
+	var zero Stats
+	if OverallCPI(1.0, 0, &zero, 500) != 0 {
+		t.Error("zero stats should give 0")
+	}
+}
