@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check vet storemlpvet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full CI gate: build + go vet + storemlpvet + race-enabled tests.
+check:
+	./scripts/check.sh
+
+vet:
+	$(GO) vet ./...
+
+storemlpvet:
+	$(GO) run ./cmd/storemlpvet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

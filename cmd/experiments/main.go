@@ -76,6 +76,10 @@ var registry = []experiment{
 		cells, err := experiments.Figure8(cfg)
 		return experiments.RenderFigure8(cells), map[string]interface{}{"fig8": cells}, err
 	}},
+	{"summary", func(cfg experiments.Config) (string, map[string]interface{}, error) {
+		rows, err := experiments.Summary(cfg)
+		return experiments.RenderSummary(rows), map[string]interface{}{"summary": rows}, err
+	}},
 	{"ablations", func(cfg experiments.Config) (string, map[string]interface{}, error) {
 		r, err := experiments.RunAblations(cfg)
 		if err != nil {
@@ -97,7 +101,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		runList = fs.String("run", "all",
-			"comma-separated: table1,table2,table3,fig2..fig8,ablations or all")
+			"comma-separated: table1,table2,table3,fig2..fig8,summary,ablations or all")
 		insts    = fs.Int64("insts", 2_000_000, "measured instructions per run")
 		warm     = fs.Int64("warm", 1_000_000, "warmup instructions per run")
 		seed     = fs.Int64("seed", 1, "workload seed")

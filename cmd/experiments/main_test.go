@@ -33,7 +33,7 @@ func TestRunNothingSelected(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4",
-		"fig5", "fig6", "fig7", "fig8", "ablations"}
+		"fig5", "fig6", "fig7", "fig8", "summary", "ablations"}
 	if len(registry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(registry), len(want))
 	}

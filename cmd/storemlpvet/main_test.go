@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCleanModule runs the full suite over this repository: the gate
+// must stay green, so findings here are real regressions.
+func TestCleanModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on the repository tree\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean run should print nothing, got:\n%s", out.String())
+	}
+}
+
+// TestFindingsExitCode runs the suite over the known-bad fixture module
+// and checks the text output contract.
+func TestFindingsExitCode(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-rule", "floatcmp,exhaustive-enum",
+		"../../internal/analysis/testdata/bad/..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"floats/floats.go:5: [floatcmp]",
+		"floats/floats.go:8: [floatcmp]",
+		"enums/enums.go:15: [exhaustive-enum]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "[ctxmut]") {
+		t.Errorf("-rule filter leaked another rule:\n%s", s)
+	}
+}
+
+// TestJSONShape checks the -json encoding.
+func TestJSONShape(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-json", "-rule", "floatcmp",
+		"../../internal/analysis/testdata/bad/..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "floatcmp" || d.File == "" || d.Line == 0 || d.Col == 0 ||
+			!strings.Contains(d.Message, "floating-point") {
+			t.Errorf("malformed finding: %+v", d)
+		}
+	}
+}
+
+func TestUnknownRule(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-rule", "nosuchrule", "./..."}, &out, &errb); code != 2 {
+		t.Errorf("exit %d for unknown rule, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Errorf("stderr should name the unknown rule, got:\n%s", errb.String())
+	}
+}
+
+func TestListRules(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d for -list, want 0", code)
+	}
+	for _, rule := range []string{"exhaustive-enum", "validate-coverage",
+		"stats-drift", "floatcmp", "ctxmut"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list missing %s:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestNoModuleRoot(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"/"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d for a pattern outside any module, want 2", code)
+	}
+}

@@ -16,9 +16,8 @@ const (
 	warm  = 400_000
 )
 
-func epi(w storemlp.Workload, mutate func(*storemlp.Config)) float64 {
-	cfg := storemlp.DefaultConfig()
-	mutate(&cfg)
+func epi(w storemlp.Workload, with func(storemlp.Config) storemlp.Config) float64 {
+	cfg := with(storemlp.DefaultConfig())
 	s, err := storemlp.Run(storemlp.RunSpec{Workload: w, Config: cfg, Insts: insts, Warm: warm})
 	if err != nil {
 		log.Fatal(err)
@@ -33,16 +32,21 @@ func main() {
 	fmt.Printf("%-10s %8s %8s %8s %8s %10s %10s\n",
 		"workload", "PC1", "WC1", "PC3", "WC3", "PC1-WC1", "PC3-WC3")
 	for _, w := range storemlp.AllWorkloads(1) {
-		pc1 := epi(w, func(c *storemlp.Config) {})
-		wc1 := epi(w, func(c *storemlp.Config) { c.Model = storemlp.WC })
-		pc3 := epi(w, func(c *storemlp.Config) {
+		pc1 := epi(w, func(c storemlp.Config) storemlp.Config { return c })
+		wc1 := epi(w, func(c storemlp.Config) storemlp.Config {
+			c.Model = storemlp.WC
+			return c
+		})
+		pc3 := epi(w, func(c storemlp.Config) storemlp.Config {
 			c.SLE = true
 			c.PrefetchPastSerializing = true
+			return c
 		})
-		wc3 := epi(w, func(c *storemlp.Config) {
+		wc3 := epi(w, func(c storemlp.Config) storemlp.Config {
 			c.Model = storemlp.WC
 			c.SLE = true
 			c.PrefetchPastSerializing = true
+			return c
 		})
 		fmt.Printf("%-10s %8.3f %8.3f %8.3f %8.3f %10.3f %10.3f\n",
 			w.Name, pc1, wc1, pc3, wc3, pc1-wc1, pc3-wc3)

@@ -31,15 +31,20 @@ func main() {
 		"workload", "config", "EPI", "overlap", "offchipCPI", "overallCPI")
 	for _, w := range storemlp.AllWorkloads(1) {
 		for _, mode := range []struct {
-			name   string
-			mutate func(*storemlp.Config)
+			name string
+			with func(storemlp.Config) storemlp.Config
 		}{
-			{"Sp0", func(c *storemlp.Config) { c.StorePrefetch = storemlp.Sp0 }},
-			{"Sp1 (default)", func(c *storemlp.Config) {}},
-			{"Sp1+HWS2", func(c *storemlp.Config) { c.HWS = storemlp.HWS2 }},
+			{"Sp0", func(c storemlp.Config) storemlp.Config {
+				c.StorePrefetch = storemlp.Sp0
+				return c
+			}},
+			{"Sp1 (default)", func(c storemlp.Config) storemlp.Config { return c }},
+			{"Sp1+HWS2", func(c storemlp.Config) storemlp.Config {
+				c.HWS = storemlp.HWS2
+				return c
+			}},
 		} {
-			cfg := storemlp.DefaultConfig()
-			mode.mutate(&cfg)
+			cfg := mode.with(storemlp.DefaultConfig())
 			spec := storemlp.RunSpec{Workload: w, Config: cfg, Insts: insts, Warm: warm}
 			stats, err := storemlp.Run(spec)
 			if err != nil {

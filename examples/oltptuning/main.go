@@ -20,9 +20,8 @@ const (
 	warm  = 500_000
 )
 
-func run(mutate func(*storemlp.Config)) *storemlp.Stats {
-	cfg := storemlp.DefaultConfig()
-	mutate(&cfg)
+func run(with func(storemlp.Config) storemlp.Config) *storemlp.Stats {
+	cfg := with(storemlp.DefaultConfig())
 	s, err := storemlp.Run(storemlp.RunSpec{
 		Workload: storemlp.Database(1), Config: cfg, Insts: insts, Warm: warm,
 	})
@@ -37,35 +36,45 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("store prefetching (SB16, SQ32):")
-	for mode, name := range map[int]string{0: "Sp0 none      ", 1: "Sp1 at retire ", 2: "Sp2 at execute"} {
-		m := mode
-		s := run(func(c *storemlp.Config) {
-			switch m {
-			case 0:
-				c.StorePrefetch = storemlp.Sp0
-			case 1:
-				c.StorePrefetch = storemlp.Sp1
-			case 2:
-				c.StorePrefetch = storemlp.Sp2
-			}
+	for _, pf := range []struct {
+		mode storemlp.PrefetchMode
+		name string
+	}{
+		{storemlp.Sp0, "Sp0 none      "},
+		{storemlp.Sp1, "Sp1 at retire "},
+		{storemlp.Sp2, "Sp2 at execute"},
+	} {
+		mode := pf.mode
+		s := run(func(c storemlp.Config) storemlp.Config {
+			c.StorePrefetch = mode
+			return c
 		})
-		fmt.Printf("  %s EPI=%.3f  storeMLP=%.2f\n", name, s.EPI(), s.StoreMLP())
+		fmt.Printf("  %s EPI=%.3f  storeMLP=%.2f\n", pf.name, s.EPI(), s.StoreMLP())
 	}
 
 	fmt.Println("\nstore queue size (Sp1, SB16):")
 	for _, sq := range []int{16, 32, 64, 256} {
 		q := sq
-		s := run(func(c *storemlp.Config) { c.StoreQueue = q })
+		s := run(func(c storemlp.Config) storemlp.Config {
+			c.StoreQueue = q
+			return c
+		})
 		fmt.Printf("  SQ%-4d EPI=%.3f\n", sq, s.EPI())
 	}
 
 	fmt.Println("\nstore buffer size (Sp1, SQ32):")
 	for _, sb := range []int{8, 16, 32} {
 		b := sb
-		s := run(func(c *storemlp.Config) { c.StoreBuffer = b })
+		s := run(func(c storemlp.Config) storemlp.Config {
+			c.StoreBuffer = b
+			return c
+		})
 		fmt.Printf("  SB%-4d EPI=%.3f\n", sb, s.EPI())
 	}
 
-	perfect := run(func(c *storemlp.Config) { c.PerfectStores = true })
+	perfect := run(func(c storemlp.Config) storemlp.Config {
+		c.PerfectStores = true
+		return c
+	})
 	fmt.Printf("\nfloor (stores never stall): EPI=%.3f\n", perfect.EPI())
 }

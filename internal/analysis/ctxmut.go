@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxMut forbids assignment through a pointer to a protected
+// configuration type outside the package that declares it.
+//
+// The invariant: uarch.Config and workload.Params are shared, reusable
+// calibrations — the experiment harness fans one Config out to dozens
+// of concurrent simulation runs. Any code that writes through a
+// *Config/*Params it was handed mutates every sibling run. Mutating a
+// local copy (value semantics) is always fine and is the idiom the
+// harness uses.
+type CtxMut struct {
+	// Protected lists "pkgpath.TypeName" keys of guarded types.
+	Protected []string
+}
+
+// Name implements Analyzer.
+func (CtxMut) Name() string { return "ctxmut" }
+
+// Doc implements Analyzer.
+func (a CtxMut) Doc() string {
+	return fmt.Sprintf("no writes through pointers to shared config types (%s) outside their packages",
+		strings.Join(a.Protected, ", "))
+}
+
+// Run implements Analyzer.
+func (a CtxMut) Run(m *Module) []Diagnostic {
+	protected := map[string]bool{}
+	ownerPkg := map[string]bool{}
+	for _, key := range a.Protected {
+		protected[key] = true
+		if i := strings.LastIndex(key, "."); i > 0 {
+			ownerPkg[key[:i]] = true
+		}
+	}
+	var out []Diagnostic
+	for _, pkg := range m.SortedPackages() {
+		if ownerPkg[pkg.Path] {
+			continue // the declaring package may mutate its own type
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch stmt := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range stmt.Lhs {
+						if key, bad := a.writesProtected(pkg, lhs, protected); bad {
+							out = append(out, Diagnostic{
+								Pos:  m.Fset.Position(lhs.Pos()),
+								Rule: a.Name(),
+								Message: fmt.Sprintf("assignment through *%s outside its package (copy the value instead)",
+									key),
+							})
+						}
+					}
+				case *ast.IncDecStmt:
+					if key, bad := a.writesProtected(pkg, stmt.X, protected); bad {
+						out = append(out, Diagnostic{
+							Pos:  m.Fset.Position(stmt.X.Pos()),
+							Rule: a.Name(),
+							Message: fmt.Sprintf("mutation through *%s outside its package (copy the value instead)",
+								key),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// writesProtected reports whether the assignment target reaches its
+// storage through a pointer to a protected type: p.Field = v,
+// (*p).Field = v, *p = v, x.cfg.Field = v where cfg is a *Config, etc.
+func (a CtxMut) writesProtected(pkg *Package, lhs ast.Expr, protected map[string]bool) (string, bool) {
+	for {
+		// The full LHS itself being a protected pointer (p = v) is a
+		// rebind of the variable, not a write through it — only look at
+		// the bases we dereference on the way to the storage.
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			if key, ok := protectedPtr(pkg, e.X, protected); ok {
+				return key, true
+			}
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if key, ok := protectedPtr(pkg, e.X, protected); ok {
+				return key, true
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			if key, ok := protectedPtr(pkg, e.X, protected); ok {
+				return key, true
+			}
+			lhs = e.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// protectedPtr reports whether e's type is a pointer to a protected
+// named type.
+func protectedPtr(pkg *Package, e ast.Expr, protected map[string]bool) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	ptr, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named := namedOf(ptr.Elem())
+	if named == nil {
+		return "", false
+	}
+	key := typeKey(named)
+	return key, protected[key]
+}

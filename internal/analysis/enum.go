@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveEnum checks that every switch over a declared enum type
+// covers all of its enumerators or carries a default clause.
+//
+// Enum types are discovered generically: a named type whose underlying
+// type is an integer, with at least two package-level constants of that
+// exact type whose values form a contiguous range starting at zero
+// (iota-style const blocks). Bitmask types (1 << iota) are therefore
+// never treated as enums. A trailing sentinel counter — the maximum
+// value, named like NumX / numX / MaxX / EndX — is excluded from the
+// required coverage set, since it is a count, not a state.
+type ExhaustiveEnum struct{}
+
+// Name implements Analyzer.
+func (ExhaustiveEnum) Name() string { return "exhaustive-enum" }
+
+// Doc implements Analyzer.
+func (ExhaustiveEnum) Doc() string {
+	return "switches over enum types must cover every enumerator or have a default"
+}
+
+// enumerator is one constant of an enum type.
+type enumerator struct {
+	name string
+	val  int64
+}
+
+// enumSet is the discovered enumerator set of one enum type.
+type enumSet struct {
+	named *types.Named
+	enums []enumerator // sentinel excluded, sorted by value
+}
+
+// Run implements Analyzer.
+func (a ExhaustiveEnum) Run(m *Module) []Diagnostic {
+	enums := discoverEnums(m)
+	var out []Diagnostic
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := pkg.Info.Types[sw.Tag]
+				if !ok {
+					return true
+				}
+				named := namedOf(tv.Type)
+				if named == nil {
+					return true
+				}
+				es, ok := enums[typeKey(named)]
+				if !ok {
+					return true
+				}
+				if d, bad := checkSwitch(m, pkg, sw, es); bad {
+					out = append(out, d)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// discoverEnums scans every package for enum-shaped type + const-block
+// pairs and returns them keyed by "pkgpath.TypeName".
+func discoverEnums(m *Module) map[string]enumSet {
+	out := map[string]enumSet{}
+	for _, pkg := range m.SortedPackages() {
+		byType := map[*types.Named][]enumerator{}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			cst, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			named := namedOf(cst.Type())
+			if named == nil || named.Obj().Pkg() != pkg.Types || !isNumeric(named) {
+				continue
+			}
+			v, ok := constant.Int64Val(constant.ToInt(cst.Val()))
+			if !ok {
+				continue
+			}
+			byType[named] = append(byType[named], enumerator{name: name, val: v})
+		}
+		for named, all := range byType {
+			if es, ok := buildEnumSet(named, all); ok {
+				out[typeKey(named)] = es
+			}
+		}
+	}
+	return out
+}
+
+// buildEnumSet validates that the constants look like an iota enum and
+// strips the sentinel counter.
+func buildEnumSet(named *types.Named, all []enumerator) (enumSet, bool) {
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].val != all[j].val {
+			return all[i].val < all[j].val
+		}
+		return all[i].name < all[j].name
+	})
+	// Strip a trailing sentinel: the unique maximum value with a
+	// counter-style name.
+	if n := len(all); n >= 2 {
+		last := all[n-1]
+		if last.val != all[n-2].val && isSentinelName(last.name) {
+			all = all[:n-1]
+		}
+	}
+	// Contiguity from zero; duplicate values (aliases) collapse.
+	seen := map[int64]bool{}
+	var vals []int64
+	for _, e := range all {
+		if !seen[e.val] {
+			seen[e.val] = true
+			vals = append(vals, e.val)
+		}
+	}
+	if len(vals) < 2 || vals[0] != 0 || vals[len(vals)-1] != int64(len(vals)-1) {
+		return enumSet{}, false
+	}
+	// Keep one representative name per value.
+	dedup := make([]enumerator, 0, len(vals))
+	used := map[int64]bool{}
+	for _, e := range all {
+		if !used[e.val] {
+			used[e.val] = true
+			dedup = append(dedup, e)
+		}
+	}
+	return enumSet{named: named, enums: dedup}, true
+}
+
+func isSentinelName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, prefix := range []string{"num", "max", "end", "sentinel"} {
+		if strings.HasPrefix(lower, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSwitch reports whether the switch misses enumerators without a
+// default clause.
+func checkSwitch(m *Module, pkg *Package, sw *ast.SwitchStmt, es enumSet) (Diagnostic, bool) {
+	covered := map[int64]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return Diagnostic{}, false // default clause present
+		}
+		for _, e := range cc.List {
+			tv, ok := pkg.Info.Types[e]
+			if !ok || tv.Value == nil {
+				// Non-constant case expression: coverage is undecidable,
+				// treat the switch as intentionally open-ended.
+				return Diagnostic{}, false
+			}
+			if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+				covered[v] = true
+			}
+		}
+	}
+	var missing []string
+	for _, e := range es.enums {
+		if !covered[e.val] {
+			missing = append(missing, e.name)
+		}
+	}
+	if len(missing) == 0 {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Pos:  m.Fset.Position(sw.Pos()),
+		Rule: "exhaustive-enum",
+		Message: fmt.Sprintf("switch over %s misses %s (add the cases or a default clause)",
+			typeKey(es.named), strings.Join(missing, ", ")),
+	}, true
+}

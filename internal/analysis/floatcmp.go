@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmp forbids == and != on floating-point operands outside test
+// files.
+//
+// The invariant: the simulator's metrics (EPI, MLP, fractions, CPI) are
+// accumulated floats; exact equality on them is either a latent epsilon
+// bug or an accidental way to spell "rate disabled" that breaks the
+// moment a computed value arrives. Sign tests (<= 0, > 0) express the
+// same intent robustly.
+type FloatCmp struct{}
+
+// Name implements Analyzer.
+func (FloatCmp) Name() string { return "floatcmp" }
+
+// Doc implements Analyzer.
+func (FloatCmp) Doc() string {
+	return "no == or != on floating-point operands outside _test.go files"
+}
+
+// Run implements Analyzer.
+func (a FloatCmp) Run(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(m.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloatExpr(pkg, be.X) || isFloatExpr(pkg, be.Y) {
+					out = append(out, Diagnostic{
+						Pos:  m.Fset.Position(be.OpPos),
+						Rule: a.Name(),
+						Message: fmt.Sprintf("floating-point %s comparison (use a sign test or an epsilon)",
+							be.Op),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func isFloatExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,282 @@
+// Package analysis is MLPsim's repo-specific static-analysis engine:
+// a self-contained module loader plus a suite of analyzers that check
+// invariants the Go compiler cannot see — exhaustive switches over the
+// model's enums, Validate() coverage of configuration structs, drift
+// between epoch.Stats and the experiment emitters, floating-point
+// equality, and mutation of shared configuration through pointers.
+//
+// The engine uses only the standard library (go/ast, go/parser,
+// go/types): the module pins zero external dependencies, and the
+// analyzers must not change that. Stdlib imports are type-checked from
+// GOROOT source via go/importer's "source" compiler, so no compiled
+// export data is needed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package of the module.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the absolute directory the files came from.
+	Dir string
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression facts.
+	Info *types.Info
+}
+
+// Module is a fully loaded Go module: every package, type-checked, in
+// one shared FileSet.
+type Module struct {
+	// Path is the module path from go.mod.
+	Path string
+	// Dir is the module root (the directory holding go.mod).
+	Dir string
+	// Fset positions every file in the module.
+	Fset *token.FileSet
+	// Pkgs maps import path to package, including the root package.
+	Pkgs map[string]*Package
+}
+
+// Lookup returns the package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.Pkgs[path] }
+
+// SortedPackages returns the module's packages ordered by import path,
+// so analyzer output is deterministic.
+func (m *Module) SortedPackages() []*Package {
+	out := make([]*Package, 0, len(m.Pkgs))
+	for _, p := range m.Pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Load parses and type-checks every package under the module rooted at
+// dir (the directory containing go.mod). Test files and testdata,
+// vendor, hidden and underscore-prefixed directories are skipped, as
+// the go tool itself does.
+func Load(dir string) (*Module, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Path: modPath, Dir: dir, Fset: token.NewFileSet(), Pkgs: map[string]*Package{}}
+
+	pkgDirs, err := findPackageDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	parsed := make(map[string]*Package, len(pkgDirs)) // import path -> parsed-only pkg
+	imports := make(map[string][]string)              // module-internal import edges
+	for _, d := range pkgDirs {
+		rel, _ := filepath.Rel(dir, d)
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, deps, err := parseDir(m.Fset, d, path, modPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable Go files
+		}
+		parsed[path] = pkg
+		imports[path] = deps
+	}
+
+	order, err := topoSort(parsed, imports)
+	if err != nil {
+		return nil, err
+	}
+
+	// The "source" importer type-checks stdlib packages from GOROOT
+	// source; module-internal imports resolve to already-checked
+	// packages, which topological order guarantees exist.
+	std := importer.ForCompiler(m.Fset, "source", nil)
+	imp := &moduleImporter{module: m, fallback: std}
+	for _, path := range order {
+		pkg := parsed[path]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, m.Fset, pkg.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", path, err)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+		m.Pkgs[path] = pkg
+	}
+	return m, nil
+}
+
+// moduleImporter resolves module-internal paths to already-checked
+// packages and everything else through the fallback (stdlib) importer.
+type moduleImporter struct {
+	module   *Module
+	fallback types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == mi.module.Path || strings.HasPrefix(path, mi.module.Path+"/") {
+		if p := mi.module.Pkgs[path]; p != nil {
+			return p.Types, nil
+		}
+		return nil, fmt.Errorf("analysis: internal import %q not yet checked (import cycle?)", path)
+	}
+	return mi.fallback.Import(path)
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w (run against a module root)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// findPackageDirs walks the tree collecting directories that contain at
+// least one non-test Go file.
+func findPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") &&
+			!strings.HasPrefix(d.Name(), ".") && !strings.HasPrefix(d.Name(), "_") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses the non-test files of one directory and returns the
+// package plus its module-internal import paths. A nil package means
+// the directory holds no buildable files.
+func parseDir(fset *token.FileSet, dir, path, modPath string) (*Package, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	depSet := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+				depSet[ip] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, nil
+	}
+	deps := make([]string, 0, len(depSet))
+	for d := range depSet {
+		deps = append(deps, d)
+	}
+	sort.Strings(deps)
+	return &Package{Path: path, Dir: dir, Files: files}, deps, nil
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer.
+func topoSort(pkgs map[string]*Package, imports map[string][]string) ([]string, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", p)
+		}
+		state[p] = visiting
+		for _, dep := range imports[p] {
+			if _, ok := pkgs[dep]; !ok {
+				continue // import of a package with no buildable files
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,20 @@
+// Package config holds a struct whose Validate skips a field.
+package config
+
+type simpleError string
+
+func (e simpleError) Error() string { return string(e) }
+
+// Config is a validated parameter block with a hole.
+type Config struct {
+	Size int
+	Rate float64
+}
+
+// Validate checks Size but forgets Rate.
+func (c Config) Validate() error {
+	if c.Size <= 0 {
+		return simpleError("config: non-positive size")
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package ctx writes through a shared *config.Config.
+package ctx
+
+import "example.com/bad/config"
+
+// Tune mutates the caller's Config in place.
+func Tune(c *config.Config) {
+	c.Size = 64
+	c.Rate++
+}

@@ -1,0 +1,22 @@
+// Package enums holds a switch that misses an enumerator.
+package enums
+
+// Mode is an iota enum.
+type Mode uint8
+
+const (
+	Off Mode = iota
+	Slow
+	Fast
+)
+
+// Describe misses Fast and has no default clause.
+func Describe(m Mode) string {
+	switch m {
+	case Off:
+		return "off"
+	case Slow:
+		return "slow"
+	}
+	return ""
+}

@@ -1,0 +1,8 @@
+// Package floats compares floats exactly.
+package floats
+
+// Disabled tests a float with ==.
+func Disabled(rate float64) bool { return rate == 0 }
+
+// Differs tests float32s with !=.
+func Differs(a, b float32) bool { return a != b }

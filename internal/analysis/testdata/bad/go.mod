@@ -1,0 +1,3 @@
+module example.com/bad
+
+go 1.21

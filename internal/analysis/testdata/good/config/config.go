@@ -1,0 +1,35 @@
+// Package config exercises validate-coverage with a fully covered
+// struct: fields are checked directly, through a helper method, or
+// opted out with the novalidate marker.
+package config
+
+type simpleError string
+
+func (e simpleError) Error() string { return string(e) }
+
+// Config is a validated parameter block.
+type Config struct {
+	Size  int
+	Rate  float64
+	Label string
+	Seed  int64 // storemlpvet:novalidate (any seed is valid)
+	note  string
+}
+
+// Validate checks Size directly and the rest through a helper.
+func (c Config) Validate() error {
+	if c.Size <= 0 {
+		return simpleError("config: non-positive size")
+	}
+	return c.check()
+}
+
+func (c Config) check() error {
+	if c.Rate < 0 || c.Label == "" {
+		return simpleError("config: bad rate or label")
+	}
+	return nil
+}
+
+// Note returns the private annotation.
+func (c Config) Note() string { return c.note }

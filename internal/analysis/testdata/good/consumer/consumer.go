@@ -1,0 +1,9 @@
+// Package consumer reads every exported numeric field of stats.Stats.
+package consumer
+
+import "example.com/good/stats"
+
+// Total sums the counters a report shows.
+func Total(s *stats.Stats) float64 {
+	return float64(s.Events+s.Hits) + s.Ratio
+}

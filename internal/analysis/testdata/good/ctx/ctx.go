@@ -1,0 +1,17 @@
+// Package ctx exercises ctxmut with the sanctioned value-copy idiom.
+package ctx
+
+import "example.com/good/config"
+
+// Grow returns a copy with a larger size: mutating a local value is
+// always fine.
+func Grow(c config.Config) config.Config {
+	c.Size++
+	return c
+}
+
+// Rebind repoints p without writing through it.
+func Rebind(p, o *config.Config) *config.Config {
+	p = o
+	return p
+}

@@ -1,0 +1,58 @@
+// Package enums exercises exhaustive-enum with compliant switches.
+package enums
+
+// Color is an iota enum with a trailing sentinel counter.
+type Color uint8
+
+const (
+	Red Color = iota
+	Green
+	Blue
+
+	numColors
+)
+
+// Count is the number of colors.
+const Count = int(numColors)
+
+// Flags is a bitmask, not an enum: its values are not contiguous from
+// zero, so sparse switches over it need no coverage.
+type Flags uint8
+
+const (
+	FlagA Flags = 1 << iota
+	FlagB
+	FlagC
+)
+
+// Name covers every enumerator; the sentinel is not required.
+func Name(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return "unknown"
+}
+
+// Warm relies on a default clause instead of full coverage.
+func Warm(c Color) bool {
+	switch c {
+	case Red:
+		return true
+	default:
+		return false
+	}
+}
+
+// HasA switches sparsely over the bitmask.
+func HasA(f Flags) bool {
+	switch f {
+	case FlagA:
+		return true
+	}
+	return false
+}

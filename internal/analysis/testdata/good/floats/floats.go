@@ -1,0 +1,8 @@
+// Package floats exercises floatcmp with sign tests only.
+package floats
+
+// Enabled reports whether rate is set, via a sign test.
+func Enabled(rate float64) bool { return rate > 0 }
+
+// Same compares ints exactly, which is fine.
+func Same(a, b int) bool { return a == b }

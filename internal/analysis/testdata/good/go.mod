@@ -1,0 +1,3 @@
+module example.com/good
+
+go 1.21

@@ -1,0 +1,17 @@
+// Package stats exercises stats-drift with a complete Merge.
+package stats
+
+// Stats counts simulated events.
+type Stats struct {
+	Events int64
+	Hits   int64
+	Ratio  float64
+	Name   string // non-numeric: exempt from the drift rule
+}
+
+// Merge folds o into s.
+func (s *Stats) Merge(o *Stats) {
+	s.Events += o.Events
+	s.Hits += o.Hits
+	s.Ratio += o.Ratio
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// NoValidateMarker suppresses validate-coverage for a struct field when
+// it appears in the field's doc or line comment. Use it for fields with
+// genuinely unconstrained domains (seeds, booleans, offsets).
+const NoValidateMarker = "storemlpvet:novalidate"
+
+// ValidateCoverage checks that every exported field of a struct with a
+// Validate method is referenced by that method — directly, or through
+// other methods of the same type that Validate (transitively) calls.
+// A field whose whole domain is valid can opt out with a
+// "// storemlpvet:novalidate" comment.
+//
+// The invariant: configuration structs grow knobs over time, and a knob
+// that Validate never looks at is a knob whose contradictions reach the
+// simulator. Forcing every field through Validate (or an explicit
+// opt-out) keeps rejection paths in sync with the struct.
+type ValidateCoverage struct{}
+
+// Name implements Analyzer.
+func (ValidateCoverage) Name() string { return "validate-coverage" }
+
+// Doc implements Analyzer.
+func (ValidateCoverage) Doc() string {
+	return "every exported field of a struct with Validate() must be checked by it or marked " + NoValidateMarker
+}
+
+// Run implements Analyzer.
+func (a ValidateCoverage) Run(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.SortedPackages() {
+		// Gather the methods of every named struct type in the package:
+		// method name -> fields read and sibling methods called.
+		type methodFacts struct {
+			fields map[*types.Var]bool
+			calls  map[string]bool
+		}
+		perType := map[*types.Named]map[string]*methodFacts{}
+		var typeDecls []*ast.FuncDecl
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil || fn.Body == nil {
+					continue
+				}
+				typeDecls = append(typeDecls, fn)
+			}
+		}
+		for _, fn := range typeDecls {
+			recv := recvBaseType(fn, pkg.Info)
+			if recv == nil {
+				continue
+			}
+			if _, ok := recv.Underlying().(*types.Struct); !ok {
+				continue
+			}
+			facts := &methodFacts{fields: map[*types.Var]bool{}, calls: map[string]bool{}}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				se, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				sel := pkg.Info.Selections[se]
+				if sel == nil {
+					return true
+				}
+				if namedOf(sel.Recv()) != recv {
+					return true
+				}
+				switch sel.Kind() {
+				case types.FieldVal:
+					if v, ok := sel.Obj().(*types.Var); ok {
+						facts.fields[v] = true
+					}
+				case types.MethodVal, types.MethodExpr:
+					facts.calls[sel.Obj().Name()] = true
+				}
+				return true
+			})
+			if perType[recv] == nil {
+				perType[recv] = map[string]*methodFacts{}
+			}
+			perType[recv][fn.Name.Name] = facts
+		}
+
+		for _, recv := range sortedNamed(perType) {
+			methods := perType[recv]
+			if methods["Validate"] == nil {
+				continue
+			}
+			// Transitive closure of fields read from Validate through
+			// same-type method calls.
+			reached := map[*types.Var]bool{}
+			visited := map[string]bool{}
+			var visit func(name string)
+			visit = func(name string) {
+				if visited[name] {
+					return
+				}
+				visited[name] = true
+				facts := methods[name]
+				if facts == nil {
+					return
+				}
+				for f := range facts.fields {
+					reached[f] = true
+				}
+				for callee := range facts.calls {
+					visit(callee)
+				}
+			}
+			visit("Validate")
+
+			st := recv.Underlying().(*types.Struct)
+			fieldDecls := structFieldDecls(pkg, recv)
+			for i := 0; i < st.NumFields(); i++ {
+				fld := st.Field(i)
+				if !fld.Exported() || reached[fld] {
+					continue
+				}
+				decl := fieldDecls[fld.Name()]
+				if decl != nil && commentHasMarker(NoValidateMarker, decl.Doc, decl.Comment) {
+					continue
+				}
+				pos := fld.Pos()
+				if decl != nil {
+					pos = decl.Pos()
+				}
+				out = append(out, Diagnostic{
+					Pos:  m.Fset.Position(pos),
+					Rule: "validate-coverage",
+					Message: fmt.Sprintf("field %s.%s is not checked by Validate (add a check or a // %s comment)",
+						recv.Obj().Name(), fld.Name(), NoValidateMarker),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// structFieldDecls maps field names of the named struct type to their
+// AST declarations, so comments and positions can be inspected.
+func structFieldDecls(pkg *Package, named *types.Named) map[string]*ast.Field {
+	out := map[string]*ast.Field{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != named.Obj().Name() {
+				return true
+			}
+			if def := pkg.Info.Defs[ts.Name]; def == nil || def.Type() != named {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					out[name.Name] = fld
+				}
+			}
+			return false
+		})
+	}
+	return out
+}
+
+func sortedNamed[V any](m map[*types.Named]V) []*types.Named {
+	out := make([]*types.Named, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	// Sort by name for deterministic output (one package: names unique).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Obj().Name() > out[j].Obj().Name(); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

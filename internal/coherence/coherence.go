@@ -139,7 +139,7 @@ func (t *Traffic) Nodes() int { return t.nodes }
 // Advance accounts for n locally executed instructions and delivers any
 // remote snoops that fall due.
 func (t *Traffic) Advance(n int64) {
-	if t == nil || t.nodes <= 1 || t.spec.EventsPerKiloInst == 0 {
+	if t == nil || t.nodes <= 1 || t.spec.EventsPerKiloInst <= 0 {
 		return
 	}
 	t.acc += float64(n) * t.spec.EventsPerKiloInst * float64(t.nodes-1) / 1000

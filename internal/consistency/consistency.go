@@ -79,6 +79,10 @@ func DetectLocks(src trace.Source) trace.Source {
 				delete(held, in.Addr)
 				in.Flags |= isa.FlagLockRelease
 			}
+		default:
+			// Every other instruction class passes through unchanged:
+			// only casa acquires and only a plain store releases under
+			// the TSO lock idiom.
 		}
 		return in, true
 	})

@@ -207,6 +207,9 @@ func (s *Sim) retire() {
 			if !s.cfg.PerfectStores {
 				e := sqEntry{addr: head.addr, shared: head.flags.Has(isa.FlagShared), measured: head.measured}
 				switch s.cfg.StorePrefetch {
+				case uarch.Sp0:
+					// No early prefetch: the ownership request issues when
+					// the entry reaches the store-queue head (arrival 0).
 				case uarch.Sp1:
 					e.arrival = s.prefetchStore(head.addr, head.measured)
 				case uarch.Sp2:
@@ -214,6 +217,8 @@ func (s *Sim) retire() {
 						e.arrival = pf
 						delete(s.sp2, head.addr)
 					}
+				default:
+					panic("cyclesim: undefined store prefetch mode " + s.cfg.StorePrefetch.String())
 				}
 				s.sq = append(s.sq, e)
 			}

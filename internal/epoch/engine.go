@@ -625,6 +625,8 @@ func (e *Engine) finalize() {
 			lb = MaxLoadInstBucket
 		}
 		e.stats.MLPJoint[sb][lb]++
+		e.stats.epochsWithAny++
+		e.stats.loadInstMLPSum += int64(r.loadMisses) + int64(r.instMisses)
 		if r.storeMisses > 0 {
 			e.stats.EpochsWithStore++
 			e.stats.storeMLPSum += int64(r.storeMisses)

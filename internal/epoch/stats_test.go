@@ -1,0 +1,96 @@
+package epoch
+
+import (
+	"math"
+	"testing"
+
+	"storemlp/internal/cache"
+	"storemlp/internal/smac"
+)
+
+// fillStats returns a Stats with every counter set to a distinct
+// multiple of k, so Merge omissions show up as wrong sums.
+func fillStats(k int64) Stats {
+	s := Stats{
+		Insts:            1 * k,
+		Epochs:           2 * k,
+		StoreMisses:      3 * k,
+		LoadMisses:       4 * k,
+		InstMisses:       5 * k,
+		OverlappedStores: 6 * k,
+		ExposedStores:    7 * k,
+		SMACAccelerated:  8 * k,
+		EpochsWithStore:  9 * k,
+		storeMLPSum:      10 * k,
+		loadInstMLPSum:   11 * k,
+		epochsWithAny:    12 * k,
+		Snoops:           13 * k,
+		Hierarchy:        cache.HierarchyStats{Fetches: 14 * k, L2PrefetchReqs: 15 * k},
+		SMAC:             smac.Stats{Probes: 16 * k, Hits: 17 * k},
+	}
+	for i := range s.TermCounts {
+		s.TermCounts[i] = k * int64(i+1)
+	}
+	for i := range s.MLPJoint {
+		for j := range s.MLPJoint[i] {
+			s.MLPJoint[i][j] = k * int64(i*100+j+1)
+		}
+	}
+	return s
+}
+
+func TestMergeFoldsEveryCounter(t *testing.T) {
+	a := fillStats(1)
+	b := fillStats(10)
+	a.Merge(&b)
+	want := fillStats(11)
+	if a.Insts != want.Insts || a.Epochs != want.Epochs ||
+		a.StoreMisses != want.StoreMisses || a.LoadMisses != want.LoadMisses ||
+		a.InstMisses != want.InstMisses ||
+		a.OverlappedStores != want.OverlappedStores ||
+		a.ExposedStores != want.ExposedStores ||
+		a.SMACAccelerated != want.SMACAccelerated ||
+		a.EpochsWithStore != want.EpochsWithStore ||
+		a.storeMLPSum != want.storeMLPSum ||
+		a.loadInstMLPSum != want.loadInstMLPSum ||
+		a.epochsWithAny != want.epochsWithAny ||
+		a.Snoops != want.Snoops {
+		t.Errorf("merged scalars wrong:\ngot  %+v\nwant %+v", a, want)
+	}
+	if a.TermCounts != want.TermCounts {
+		t.Errorf("TermCounts = %v, want %v", a.TermCounts, want.TermCounts)
+	}
+	if a.MLPJoint != want.MLPJoint {
+		t.Error("MLPJoint not folded element-wise")
+	}
+	if a.Hierarchy != want.Hierarchy {
+		t.Errorf("Hierarchy = %+v, want %+v", a.Hierarchy, want.Hierarchy)
+	}
+	if a.SMAC != want.SMAC {
+		t.Errorf("SMAC = %+v, want %+v", a.SMAC, want.SMAC)
+	}
+}
+
+func TestMergedMetricsAreUnionMetrics(t *testing.T) {
+	a := Stats{Insts: 1000, Epochs: 10, StoreMisses: 12,
+		EpochsWithStore: 6, storeMLPSum: 12, loadInstMLPSum: 4, epochsWithAny: 10}
+	b := Stats{Insts: 3000, Epochs: 20, StoreMisses: 10,
+		EpochsWithStore: 4, storeMLPSum: 10, loadInstMLPSum: 26, epochsWithAny: 20}
+	a.Merge(&b)
+	if got, want := a.EPI(), 1000*30.0/4000; math.Abs(got-want) > 1e-12 {
+		t.Errorf("merged EPI = %v, want %v", got, want)
+	}
+	if got, want := a.StoreMLP(), 22.0/10; math.Abs(got-want) > 1e-12 {
+		t.Errorf("merged StoreMLP = %v, want %v", got, want)
+	}
+	if got, want := a.LoadInstMLP(), 30.0/30; math.Abs(got-want) > 1e-12 {
+		t.Errorf("merged LoadInstMLP = %v, want %v", got, want)
+	}
+}
+
+func TestLoadInstMLPZeroEpochs(t *testing.T) {
+	var s Stats
+	if s.LoadInstMLP() != 0 {
+		t.Error("LoadInstMLP of empty stats should be 0")
+	}
+}

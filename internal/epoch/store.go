@@ -76,12 +76,17 @@ func (e *Engine) commitStore(in isa.Inst, idx, x int64, measuring, shared bool) 
 			pf := commitIssue // Sp0: request issues at the SQ head, in order
 			prefetched := false
 			switch e.cfg.StorePrefetch {
+			case uarch.Sp0:
+				// No prefetch: the ownership request issues at the store
+				// queue head (pf stays commitIssue).
 			case uarch.Sp1:
 				pf = retireEpoch
 				prefetched = true
 			case uarch.Sp2:
 				pf = x
 				prefetched = true
+			default:
+				panic("epoch: undefined store prefetch mode " + e.cfg.StorePrefetch.String())
 			}
 			if e.scoutStores && e.scoutActive(idx) && pf > e.scoutEpoch &&
 				e.regReady[in.Src2] <= e.scoutEpoch {

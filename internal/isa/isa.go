@@ -163,8 +163,11 @@ func (in Inst) Serializing() bool {
 	switch in.Op {
 	case OpCASA, OpMembar, OpISync:
 		return true
+	default:
+		// lwsync deliberately does NOT serialize: it orders store
+		// commits without draining anything (§3.3.4).
+		return false
 	}
-	return false
 }
 
 // String renders the instruction compactly for debugging and golden

@@ -26,11 +26,11 @@ type Spec struct {
 	Warm int64
 	// DisableTraffic turns off remote coherence snoops even when
 	// Uarch.Nodes > 1 (single-node behaviour).
-	DisableTraffic bool
+	DisableTraffic bool // storemlpvet:novalidate (both states valid)
 	// SharedCore co-schedules a second copy of the workload (different
 	// seed) on the other core of the CMP, sharing the L2 — the paper's
 	// two-cores-per-L2 configuration.
-	SharedCore bool
+	SharedCore bool // storemlpvet:novalidate (both states valid)
 }
 
 // Validate checks the spec.

@@ -90,7 +90,7 @@ type Config struct {
 	IssueWindow int // dispatched-but-not-issued instructions (32)
 	ROB         int // dispatched-but-not-retired instructions (64)
 	StoreBuffer int // stores dispatched-but-not-retired (16)
-	StoreQueue  int // stores retired-but-not-committed (32); <=0 = unbounded
+	StoreQueue  int // stores retired-but-not-committed (32); <=0 = unbounded // storemlpvet:novalidate
 	LoadBuffer  int // loads dispatched-but-not-retired (64)
 
 	// Store handling.
@@ -101,7 +101,7 @@ type Config struct {
 	Model                   consistency.Model
 	SLE                     bool // speculative lock elision (always succeeds)
 	TM                      bool // transactional memory (SLE alternative; always commits)
-	PrefetchPastSerializing bool
+	PrefetchPastSerializing bool // storemlpvet:novalidate (both states valid)
 
 	// Hardware Scouting (§3.3.5).
 	HWS        HWSMode
@@ -136,7 +136,7 @@ type Config struct {
 	// PerfectStores makes stores never stall the processor: store misses
 	// cost nothing and serializers do not wait for store drains. This is
 	// the bottom bar segment in every figure.
-	PerfectStores bool
+	PerfectStores bool // storemlpvet:novalidate (both states valid)
 
 	// Caches.
 	Hierarchy cache.Config
@@ -248,6 +248,18 @@ func (c Config) Validate() error {
 	}
 	if c.MissPenalty <= 0 {
 		return fmt.Errorf("uarch: non-positive miss penalty %d", c.MissPenalty)
+	}
+	if c.ScoutReach < 0 {
+		return fmt.Errorf("uarch: negative scout reach %d", c.ScoutReach)
+	}
+	if c.L1Latency < 0 || c.L2Latency < 0 {
+		return fmt.Errorf("uarch: negative cache latency (L1 %d, L2 %d)", c.L1Latency, c.L2Latency)
+	}
+	if c.CPIOnChip < 0 {
+		return fmt.Errorf("uarch: negative on-chip CPI %v", c.CPIOnChip)
+	}
+	if c.WarmInsts < 0 {
+		return fmt.Errorf("uarch: negative warmup instruction count %d", c.WarmInsts)
 	}
 	if c.Nodes < 1 {
 		return fmt.Errorf("uarch: node count %d < 1", c.Nodes)

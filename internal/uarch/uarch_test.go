@@ -54,6 +54,50 @@ func TestValidateErrors(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsNegativeKnobs(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"negative scout reach", func(c *Config) { c.ScoutReach = -1 }, "scout reach"},
+		{"negative L1 latency", func(c *Config) { c.L1Latency = -1 }, "cache latency"},
+		{"negative L2 latency", func(c *Config) { c.L2Latency = -4 }, "cache latency"},
+		{"negative on-chip CPI", func(c *Config) { c.CPIOnChip = -0.5 }, "on-chip CPI"},
+		{"negative warmup", func(c *Config) { c.WarmInsts = -1 }, "warmup"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := Default()
+			tt.mut(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsUnconstrainedKnobs(t *testing.T) {
+	// Fields marked storemlpvet:novalidate: their whole domain is valid.
+	muts := []func(*Config){
+		func(c *Config) { c.StoreQueue = 0 },  // unbounded store queue
+		func(c *Config) { c.StoreQueue = -1 }, // also unbounded
+		func(c *Config) { c.PrefetchPastSerializing = true },
+		func(c *Config) { c.PerfectStores = true },
+	}
+	for i, m := range muts {
+		c := Default()
+		m(&c)
+		if err := c.Validate(); err != nil {
+			t.Errorf("mutation %d should be valid: %v", i, err)
+		}
+	}
+}
+
 func TestPrefetchModeStrings(t *testing.T) {
 	if Sp0.String() != "Sp0" || Sp1.String() != "Sp1" || Sp2.String() != "Sp2" {
 		t.Error("prefetch mode names wrong")

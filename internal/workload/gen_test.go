@@ -35,6 +35,34 @@ func TestParamsValidate(t *testing.T) {
 	}
 }
 
+func TestParamsValidateRejectsNegativeRates(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"negative lock rate", func(p *Params) { p.LocksPer1000 = -1 }},
+		{"negative membar rate", func(p *Params) { p.MembarPer1000 = -0.1 }},
+		{"negative mispredict rate", func(p *Params) { p.MispredPer1000 = -2 }},
+		{"negative snoop rate", func(p *Params) { p.SnoopsPerKiloInst = -0.5 }},
+		{"negative base CPI", func(p *Params) { p.OnChipBaseCPI = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := Database(1)
+			tt.mut(&p)
+			if p.Validate() == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+	// Seed and AddrOffset are unconstrained (storemlpvet:novalidate).
+	p := Database(-99)
+	p.AddrOffset = 1 << 44
+	if err := p.Validate(); err != nil {
+		t.Errorf("any seed/offset should be valid: %v", err)
+	}
+}
+
 func TestByName(t *testing.T) {
 	for _, name := range []string{"database", "tpcw", "specjbb", "specweb"} {
 		p, err := ByName(name, 7)

@@ -41,7 +41,7 @@ const (
 // Params calibrates one workload generator.
 type Params struct {
 	Name string
-	Seed int64
+	Seed int64 // storemlpvet:novalidate (any seed is valid)
 
 	// Instruction mix, per 100 instructions (Table 1 gives store
 	// frequency; load and branch frequencies are typical for the class).
@@ -108,7 +108,7 @@ type Params struct {
 	// AddrOffset shifts every address (code and data) the generator
 	// produces. Used to give a co-scheduled copy of the workload a
 	// disjoint address space, as separate processes would have.
-	AddrOffset uint64
+	AddrOffset uint64 // storemlpvet:novalidate (any offset is valid)
 }
 
 // Validate checks the calibration for contradictions.
@@ -143,6 +143,15 @@ func (p Params) Validate() error {
 	}
 	if p.StoreWSBytes <= 0 || p.LoadWSBytes <= 0 || p.CodeWSBytes <= 0 || p.SharedWSBytes <= 0 {
 		return fmt.Errorf("workload %s: non-positive working set", p.Name)
+	}
+	if p.LocksPer1000 < 0 || p.MembarPer1000 < 0 || p.MispredPer1000 < 0 {
+		return fmt.Errorf("workload %s: negative event rate", p.Name)
+	}
+	if p.SnoopsPerKiloInst < 0 {
+		return fmt.Errorf("workload %s: negative snoop rate %v", p.Name, p.SnoopsPerKiloInst)
+	}
+	if p.OnChipBaseCPI < 0 {
+		return fmt.Errorf("workload %s: negative base CPI %v", p.Name, p.OnChipBaseCPI)
 	}
 	return nil
 }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# The repository's CI gate: build, vet (standard + repo-specific), and
+# the race-enabled test suite. Run from anywhere inside the module.
+# Fails fast: the first failing stage stops the run with its exit code.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '>> go build ./...'
+go build ./...
+
+echo '>> go vet ./...'
+go vet ./...
+
+echo '>> storemlpvet ./...'
+go run ./cmd/storemlpvet ./...
+
+echo '>> go test -race ./...'
+go test -race "$@" ./...
+
+echo 'check: OK'

@@ -63,6 +63,10 @@ const (
 	WC = consistency.WC
 )
 
+// PrefetchMode selects when (if at all) a store's ownership request is
+// prefetched ahead of its store-queue-head turn.
+type PrefetchMode = uarch.PrefetchMode
+
 // Store prefetching modes (§3.3.2).
 const (
 	Sp0 = uarch.Sp0 // no store prefetching
