@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet storemlpvet bench
+.PHONY: build test check vet storemlpvet bench bench-serve
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,8 @@ storemlpvet:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Serving-layer benchmark: local mlpsimd + the repeated Figure-2 grid
+# via mlpload; writes BENCH_serve.json.
+bench-serve:
+	./scripts/bench.sh

@@ -10,19 +10,31 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"storemlp/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// A full harness run takes minutes; SIGINT cancels the sweep context
+	// so every in-flight engine loop aborts and the process exits cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
@@ -97,7 +109,7 @@ var registry = []experiment{
 	}},
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		runList = fs.String("run", "all",
@@ -112,7 +124,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	cfg := experiments.Config{Seed: *seed, Insts: *insts, Warm: *warm, Parallelism: *parallel}
+	cfg := experiments.Config{Seed: *seed, Insts: *insts, Warm: *warm, Parallelism: *parallel, Ctx: ctx}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunSubset(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-run", "table1,table3", "-insts", "100000", "-warm", "60000"}, &out)
+	err := run(context.Background(), []string{"-run", "table1,table3", "-insts", "100000", "-warm", "60000"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestRunSubset(t *testing.T) {
 
 func TestRunNothingSelected(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-run", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-run", "bogus"}, &out); err == nil {
 		t.Error("bogus selection should error")
 	}
 }
@@ -47,7 +48,7 @@ func TestRegistryComplete(t *testing.T) {
 func TestCSVExport(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
-	err := run([]string{"-run", "table2", "-insts", "60000", "-warm", "30000", "-csv", dir}, &out)
+	err := run(context.Background(), []string{"-run", "table2", "-insts", "60000", "-warm", "30000", "-csv", dir}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,315 @@
+// Command mlpload load-tests a running mlpsimd instance with the
+// paper's Figure-2-style configuration grid and reports throughput and
+// tail latency for two phases:
+//
+//   - cold: every request carries nocache, so each one costs a full
+//     engine execution — the floor the serving layer starts from.
+//   - warm: the same grid repeated through the digest cache and
+//     coalescing path, where repeats become map lookups.
+//
+// The speedup ratio between the phases is the serving layer's win on
+// repeated sweeps. -json writes the measurements as a benchmark record
+// (scripts/bench.sh stores it as BENCH_serve.json).
+//
+// Examples:
+//
+//	mlpload -addr http://127.0.0.1:7743
+//	mlpload -addr http://127.0.0.1:7743 -repeat 5 -concurrency 16 -json BENCH_serve.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"storemlp/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mlpload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// grid builds the Figure-2-style sweep: every workload crossed with
+// store-prefetch policy, store-buffer size, and store-queue depth.
+// The defaults give 4 x 2 x 2 x 4 = 64 points.
+func grid(workloads []string, insts, warm int64) []server.RunRequest {
+	prefetches := []int{0, 1}
+	sbs := []int{8, 16}
+	sqs := []int{16, 32, 64, 256}
+	var pts []server.RunRequest
+	for _, w := range workloads {
+		for _, sp := range prefetches {
+			for _, sb := range sbs {
+				for _, sq := range sqs {
+					sp, sb, sq := sp, sb, sq
+					pts = append(pts, server.RunRequest{
+						Workload: w,
+						Insts:    insts,
+						Warm:     warm,
+						Config:   &server.ConfigPatch{StorePrefetch: &sp, StoreBuffer: &sb, StoreQueue: &sq},
+					})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// phaseStats summarizes one load phase.
+type phaseStats struct {
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	ElapsedS   float64 `json:"elapsed_s"`
+	Throughput float64 `json:"throughput_rps"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	Cached     int     `json:"cached"`
+	Coalesced  int     `json:"coalesced"`
+}
+
+// benchRecord is the -json output shape.
+type benchRecord struct {
+	Bench       string     `json:"bench"`
+	GridPoints  int        `json:"grid_points"`
+	Repeat      int        `json:"repeat"`
+	Concurrency int        `json:"concurrency"`
+	Insts       int64      `json:"insts"`
+	Warm        int64      `json:"warm"`
+	Cold        phaseStats `json:"cold"`
+	WarmPhase   phaseStats `json:"warm_phase"`
+	Speedup     float64    `json:"speedup"`
+}
+
+func percentileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Microseconds()) / 1000
+}
+
+// firePhase posts every request through a bounded worker pool and
+// aggregates latency/throughput.
+func firePhase(ctx context.Context, client *http.Client, url string, reqs []server.RunRequest, concurrency int) (phaseStats, error) {
+	jobs := make(chan []byte)
+	lats := make([]time.Duration, 0, len(reqs))
+	var st phaseStats
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for body := range jobs {
+				t0 := time.Now()
+				resp, err := post(ctx, client, url, body)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					st.Errors++
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					lats = append(lats, lat)
+					if resp.Cached {
+						st.Cached++
+					}
+					if resp.Coalesced {
+						st.Coalesced++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	start := time.Now()
+	var encErr error
+drain:
+	for _, r := range reqs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			encErr = err
+			break
+		}
+		select {
+		case jobs <- b:
+		case <-ctx.Done():
+			encErr = ctx.Err()
+			break drain
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	st.ElapsedS = time.Since(start).Seconds()
+	if encErr != nil {
+		return st, encErr
+	}
+	if firstErr != nil {
+		return st, firstErr
+	}
+
+	st.Requests = len(lats)
+	if st.ElapsedS > 0 {
+		st.Throughput = float64(st.Requests) / st.ElapsedS
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st.P50MS = percentileMS(lats, 0.50)
+	st.P95MS = percentileMS(lats, 0.95)
+	st.P99MS = percentileMS(lats, 0.99)
+	return st, nil
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) (*server.RunResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var rr server.RunResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mlpload", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:7743", "mlpsimd base URL")
+		workloadCSV = fs.String("workloads", "database,tpcw,specjbb,specweb", "comma-separated workloads")
+		insts       = fs.Int64("insts", 200_000, "measured instructions per point")
+		warm        = fs.Int64("warm", 100_000, "warmup instructions per point")
+		concurrency = fs.Int("concurrency", 8, "in-flight requests")
+		repeat      = fs.Int("repeat", 3, "timed passes over the grid per phase")
+		mode        = fs.String("mode", "both", "phases to run: cold, warm, or both")
+		jsonPath    = fs.String("json", "", "write measurements to this file (benchmark record)")
+		reqTimeout  = fs.Duration("timeout", 5*time.Minute, "per-request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *concurrency < 1 || *repeat < 1 {
+		return fmt.Errorf("concurrency and repeat must be >= 1")
+	}
+	switch *mode {
+	case "cold", "warm", "both":
+	default:
+		return fmt.Errorf("unknown mode %q (want cold, warm, or both)", *mode)
+	}
+
+	var workloads []string
+	for _, w := range strings.Split(*workloadCSV, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workloads = append(workloads, w)
+		}
+	}
+	if len(workloads) == 0 {
+		return fmt.Errorf("no workloads")
+	}
+
+	base := grid(workloads, *insts, *warm)
+	url := strings.TrimRight(*addr, "/") + "/v1/run"
+	client := &http.Client{Timeout: *reqTimeout}
+
+	// The server must be up before we measure anything.
+	hc, err := client.Get(strings.TrimRight(*addr, "/") + "/healthz")
+	if err != nil {
+		return fmt.Errorf("mlpsimd not reachable at %s: %w", *addr, err)
+	}
+	hc.Body.Close()
+
+	rec := benchRecord{
+		Bench:      "serve",
+		GridPoints: len(base),
+		Repeat:     *repeat, Concurrency: *concurrency,
+		Insts: *insts, Warm: *warm,
+	}
+	fmt.Fprintf(stdout, "grid: %d points (%s), %d passes, concurrency %d\n",
+		len(base), strings.Join(workloads, ","), *repeat, *concurrency)
+
+	repeated := func(nocache bool) []server.RunRequest {
+		var reqs []server.RunRequest
+		for pass := 0; pass < *repeat; pass++ {
+			for _, r := range base {
+				r.NoCache = nocache
+				reqs = append(reqs, r)
+			}
+		}
+		return reqs
+	}
+
+	if *mode == "cold" || *mode == "both" {
+		st, err := firePhase(ctx, client, url, repeated(true), *concurrency)
+		if err != nil {
+			return fmt.Errorf("cold phase: %w", err)
+		}
+		rec.Cold = st
+		fmt.Fprintf(stdout, "cold: %d reqs in %.2fs  %.1f req/s  p50=%.1fms p95=%.1fms p99=%.1fms\n",
+			st.Requests, st.ElapsedS, st.Throughput, st.P50MS, st.P95MS, st.P99MS)
+	}
+
+	if *mode == "warm" || *mode == "both" {
+		// Untimed priming pass fills the cache; the timed passes then
+		// measure the steady warm state.
+		if _, err := firePhase(ctx, client, url, base, *concurrency); err != nil {
+			return fmt.Errorf("warm priming: %w", err)
+		}
+		st, err := firePhase(ctx, client, url, repeated(false), *concurrency)
+		if err != nil {
+			return fmt.Errorf("warm phase: %w", err)
+		}
+		rec.WarmPhase = st
+		fmt.Fprintf(stdout, "warm: %d reqs in %.2fs  %.1f req/s  p50=%.1fms p95=%.1fms p99=%.1fms  (%d cached, %d coalesced)\n",
+			st.Requests, st.ElapsedS, st.Throughput, st.P50MS, st.P95MS, st.P99MS, st.Cached, st.Coalesced)
+	}
+
+	if rec.Cold.Throughput > 0 && rec.WarmPhase.Throughput > 0 {
+		rec.Speedup = rec.WarmPhase.Throughput / rec.Cold.Throughput
+		fmt.Fprintf(stdout, "warm/cold speedup: %.1fx\n", rec.Speedup)
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+	}
+	return nil
+}

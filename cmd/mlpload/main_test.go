@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"storemlp/internal/epoch"
+	"storemlp/internal/server"
+	"storemlp/internal/sim"
+
+	"io"
+	"log/slog"
+)
+
+// stubService serves a real server.Server with a fake engine: cold
+// (nocache) requests pay sleep, warm ones hit the cache.
+func stubService(t *testing.T, delay time.Duration) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var execs atomic.Int64
+	s := server.New(server.Config{
+		Workers: 4,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Runner: func(ctx context.Context, spec sim.Spec) (*epoch.Stats, error) {
+			execs.Add(1)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return &epoch.Stats{Insts: spec.Insts, Epochs: spec.Insts / 100}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts, &execs
+}
+
+func TestGridShape(t *testing.T) {
+	pts := grid([]string{"database", "tpcw", "specjbb", "specweb"}, 1000, 500)
+	if len(pts) != 64 {
+		t.Fatalf("grid has %d points, want 64", len(pts))
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		key := p.Workload
+		key += string(rune('0' + *p.Config.StorePrefetch))
+		b, _ := json.Marshal(p.Config)
+		seen[key+string(b)] = true
+		if p.Insts != 1000 || p.Warm != 500 {
+			t.Fatalf("point sizes wrong: %+v", p)
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("grid has %d distinct points, want 64", len(seen))
+	}
+}
+
+func TestLoadColdVsWarm(t *testing.T) {
+	ts, execs := stubService(t, 10*time.Millisecond)
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_serve.json")
+
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", ts.URL,
+		"-workloads", "database,tpcw",
+		"-insts", "1000", "-warm", "0",
+		"-concurrency", "4", "-repeat", "2",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("mlpload: %v (output %s)", err, out.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads x 2 prefetch x 2 sb x 4 sq = 32-point grid.
+	if rec.GridPoints != 32 {
+		t.Errorf("grid points = %d, want 32", rec.GridPoints)
+	}
+	if rec.Cold.Requests != 64 || rec.Cold.Errors != 0 {
+		t.Errorf("cold phase: %+v", rec.Cold)
+	}
+	if rec.WarmPhase.Requests != 64 || rec.WarmPhase.Errors != 0 {
+		t.Errorf("warm phase: %+v", rec.WarmPhase)
+	}
+	// Cold executes every request; warm executes only the priming pass.
+	// 64 cold + 32 priming = 96 engine runs total.
+	if got := execs.Load(); got != 96 {
+		t.Errorf("engine executions = %d, want 96", got)
+	}
+	if rec.WarmPhase.Cached != 64 {
+		t.Errorf("warm cached = %d, want 64", rec.WarmPhase.Cached)
+	}
+	if rec.Speedup <= 1 {
+		t.Errorf("speedup = %.2f, want > 1 (cold pays %v per request)", rec.Speedup, 10*time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "speedup") {
+		t.Errorf("output missing speedup line: %s", out.String())
+	}
+}
+
+func TestLoadServerUnreachable(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-addr", "http://127.0.0.1:1", "-timeout", "1s"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "not reachable") {
+		t.Fatalf("err = %v, want unreachable", err)
+	}
+}
+
+func TestLoadFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-mode", "hot"},
+		{"-concurrency", "0"},
+		{"-repeat", "0"},
+		{"-workloads", " , "},
+	} {
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 4 * time.Millisecond}
+	if p := percentileMS(lats, 0.0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := percentileMS(lats, 1.0); p != 4 {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := percentileMS(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+}

@@ -12,23 +12,36 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"storemlp"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels the simulation context: the engine's instruction
+	// loop observes it and the process exits cleanly instead of being
+	// killed mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mlpsim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "mlpsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mlpsim", flag.ContinueOnError)
 	var (
 		workloadName = fs.String("workload", "database", "workload: database, tpcw, specjbb, specweb")
@@ -111,7 +124,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		stats, err = storemlp.RunTrace(f, cfg, *warm)
+		stats, err = storemlp.RunTraceContext(ctx, f, cfg, *warm)
 		if err != nil {
 			return fmt.Errorf("running trace: %w", err)
 		}
@@ -121,7 +134,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		wk, haveWorkload = w, true
-		stats, err = storemlp.Run(storemlp.RunSpec{
+		stats, err = storemlp.RunContext(ctx, storemlp.RunSpec{
 			Workload: w, Config: cfg, Insts: *insts, Warm: *warm,
 		})
 		if err != nil {
@@ -139,7 +152,7 @@ func run(args []string, stdout io.Writer) error {
 		if !haveWorkload {
 			return fmt.Errorf("-cycle requires a generated workload (not -trace)")
 		}
-		cyc, err := storemlp.RunCycleLevel(storemlp.RunSpec{
+		cyc, err := storemlp.RunCycleLevelContext(ctx, storemlp.RunSpec{
 			Workload: wk, Config: cfg, Insts: *insts, Warm: *warm,
 		})
 		if err != nil {

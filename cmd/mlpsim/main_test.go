@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 
 func TestRunBasic(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-workload", "tpcw", "-insts", "100000", "-warm", "50000"}, &out)
+	err := run(context.Background(), []string{"-workload", "tpcw", "-insts", "100000", "-warm", "50000"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunVerboseAndModes(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "specjbb", "-insts", "80000", "-warm", "40000",
 		"-model", "wc", "-prefetch", "2", "-hws", "2", "-smac", "1024",
 		"-sle", "-pps", "-v",
@@ -50,7 +51,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out strings.Builder
-		if err := run(append(args, "-insts", "1000", "-warm", "0"), &out); err == nil {
+		if err := run(context.Background(), append(args, "-insts", "1000", "-warm", "0"), &out); err == nil {
 			t.Errorf("args %v should error", args)
 		}
 	}
@@ -68,7 +69,7 @@ func TestRunFromTraceFile(t *testing.T) {
 	}
 	f.Close()
 	var out strings.Builder
-	if err := run([]string{"-trace", path, "-warm", "20000"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-trace", path, "-warm", "20000"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "EPI") {
@@ -78,7 +79,7 @@ func TestRunFromTraceFile(t *testing.T) {
 
 func TestRunCycleValidator(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-workload", "tpcw", "-insts", "80000", "-warm", "40000", "-cycle"}, &out)
+	err := run(context.Background(), []string{"-workload", "tpcw", "-insts", "80000", "-warm", "40000", "-cycle"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestRunCycleValidator(t *testing.T) {
 
 func TestRunModelledPredictor(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-workload", "specjbb", "-insts", "60000", "-warm", "30000", "-bpred"}, &out)
+	err := run(context.Background(), []string{"-workload", "specjbb", "-insts", "60000", "-warm", "30000", "-bpred"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,135 @@
+// Command mlpsimd is the long-running simulation service: an HTTP JSON
+// daemon in front of the epoch MLP engine. It accepts single-run and
+// sweep requests, executes them on a bounded worker pool, coalesces
+// identical concurrent requests onto one engine execution, caches
+// results by canonical config digest, and exposes Prometheus-text
+// metrics.
+//
+// Endpoints:
+//
+//	POST /v1/run    one simulation point
+//	POST /v1/sweep  many points, deduplicated and pool-bounded
+//	GET  /healthz   liveness + pool/cache summary
+//	GET  /metrics   Prometheus text exposition
+//
+// Examples:
+//
+//	mlpsimd -addr :7743
+//	mlpsimd -addr 127.0.0.1:0 -workers 8 -cache 1024 -log json
+//	curl -s localhost:7743/v1/run -d '{"workload":"tpcw","insts":500000}'
+//
+// SIGINT/SIGTERM triggers graceful shutdown: the listener closes, in-
+// flight requests drain (bounded by -drain), then remaining simulations
+// are aborted via context cancellation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"storemlp/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mlpsimd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// onReady is invoked with the bound address once the listener is up.
+// Tests (and the check.sh smoke test via the printed line) use it to
+// find a :0 port.
+var onReady = func(addr string) {}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mlpsimd", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":7743", "listen address (host:port, :0 picks a free port)")
+		workers = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cache   = fs.Int("cache", 4096, "result-cache entries (negative disables caching)")
+		maxI    = fs.Int64("max-insts", 100_000_000, "per-request insts+warm ceiling")
+		reqTO   = fs.Duration("timeout", 120*time.Second, "default per-request timeout")
+		drain   = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		logFmt  = fs.String("log", "text", "log format: text or json")
+		verbose = fs.Bool("v", false, "debug logging (includes healthz/metrics probes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	var handler slog.Handler
+	switch *logFmt {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	default:
+		return fmt.Errorf("unknown log format %q (want text or json)", *logFmt)
+	}
+	log := slog.New(handler)
+
+	svc := server.New(server.Config{
+		Workers:        *workers,
+		CacheEntries:   *cache,
+		MaxInsts:       *maxI,
+		DefaultTimeout: *reqTO,
+		Logger:         log,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	bound := ln.Addr().String()
+	fmt.Fprintf(stdout, "mlpsimd listening on %s\n", bound)
+	log.Info("mlpsimd up", "addr", bound)
+	onReady(bound)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight HTTP requests
+	// (each still honors its own deadline), then abort whatever remains.
+	log.Info("shutting down", "drain", drain.String())
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutErr := httpSrv.Shutdown(shutCtx)
+	svc.Close()
+	if shutErr != nil && !errors.Is(shutErr, context.DeadlineExceeded) {
+		return shutErr
+	}
+	if shutErr != nil {
+		log.Warn("drain budget exceeded; aborted remaining simulations")
+	}
+	fmt.Fprintln(stdout, "mlpsimd stopped")
+	return nil
+}

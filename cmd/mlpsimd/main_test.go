@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on a free port and returns its base URL
+// plus a cancel that triggers graceful shutdown and waits for exit.
+func startDaemon(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	prev := onReady
+	onReady = func(addr string) { ready <- addr }
+	t.Cleanup(func() { onReady = prev })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain", "5s"}, extraArgs...)
+	go func() { errc <- run(ctx, args, &out) }()
+
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() error {
+			cancel()
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("daemon did not exit within 10s")
+			}
+		}
+	case err := <-errc:
+		t.Fatalf("daemon exited early: %v (output %q)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	base, shutdown := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// One real (small) simulation, then a cache hit.
+	body := `{"workload":"database","insts":60000,"warm":30000}`
+	var digests [2]string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rr struct {
+			Digest string `json:"digest"`
+			Cached bool   `json:"cached"`
+			Result struct {
+				Epochs int64 `json:"epochs"`
+			} `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d", i, resp.StatusCode)
+		}
+		if rr.Result.Epochs <= 0 {
+			t.Fatalf("run %d: epochs = %d", i, rr.Result.Epochs)
+		}
+		if want := i == 1; rr.Cached != want {
+			t.Errorf("run %d: cached = %v, want %v", i, rr.Cached, want)
+		}
+		digests[i] = rr.Digest
+	}
+	if digests[0] != digests[1] {
+		t.Errorf("digest changed between identical runs: %s vs %s", digests[0], digests[1])
+	}
+
+	// Metrics reflect the traffic.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	metrics := sb.String()
+	for _, want := range []string{
+		"mlpsimd_cache_hits_total 1",
+		"mlpsimd_sims_executed_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// After shutdown the port must be closed.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("daemon still serving after shutdown")
+	}
+}
+
+func TestDaemonGracefulShutdownUnderLoad(t *testing.T) {
+	base, shutdown := startDaemon(t, "-workers", "2")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"workload":"tpcw","insts":50000,"warm":20000,"seed":%d}`, i+1)
+			resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let requests land
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown under load: %v", err)
+	}
+	wg.Wait()
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-log", "xml"}, &out); err == nil {
+		t.Error("bad -log value should fail")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &out); err == nil {
+		t.Error("bad -addr should fail")
+	}
+}

@@ -18,6 +18,7 @@
 package cyclesim
 
 import (
+	"context"
 	"fmt"
 
 	"storemlp/internal/cache"
@@ -283,11 +284,29 @@ func (s *Sim) commit() {
 
 // Run drives the trace to completion and returns the statistics.
 func (s *Sim) Run(src trace.Source) (*Stats, error) {
+	return s.RunContext(context.Background(), src)
+}
+
+// ctxCheckMask throttles context polling to every 8192 instructions,
+// mirroring the epoch engine's cancellation granularity.
+const ctxCheckMask = 8192 - 1
+
+// RunContext is Run with cancellation: the simulator polls ctx every
+// few thousand instructions and abandons the run once it is done.
+func (s *Sim) RunContext(ctx context.Context, src trace.Source) (*Stats, error) {
 	if src == nil {
 		return nil, fmt.Errorf("cyclesim: nil source")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var instIdx int64
 	for {
+		if instIdx&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		in, ok := src.Next()
 		if !ok {
 			break

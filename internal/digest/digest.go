@@ -1,0 +1,130 @@
+// Package digest computes stable content digests of configuration
+// values, keyed canonically rather than by memory layout: struct fields
+// are emitted sorted by name (so reordering fields in a source file
+// does not change any digest and two types with the same field sets
+// encode identically), map entries are emitted sorted by encoded key
+// (so map iteration order never leaks in), and floats are formatted
+// with exact round-trip precision. The serving layer uses these digests
+// as request-coalescing and result-cache keys, where a spurious
+// mismatch costs a redundant simulation and a spurious match serves a
+// wrong result — canonicality is therefore correctness, not cosmetics.
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sum returns the hex-encoded SHA-256 of v's canonical encoding.
+func Sum(v interface{}) string {
+	h := sha256.Sum256([]byte(Canonical(v)))
+	return hex.EncodeToString(h[:])
+}
+
+// Canonical returns the canonical textual encoding of v. It is
+// deterministic across processes and insensitive to struct field order
+// and map iteration order. Unexported struct fields are skipped (they
+// cannot be read reflectively without unsafe, and configuration blocks
+// keep their identity in exported fields).
+func Canonical(v interface{}) string {
+	var b strings.Builder
+	encode(&b, reflect.ValueOf(v))
+	return b.String()
+}
+
+func encode(b *strings.Builder, v reflect.Value) {
+	if !v.IsValid() {
+		b.WriteString("nil")
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		b.WriteString(strconv.FormatBool(v.Bool()))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		b.WriteString(strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32:
+		b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 32))
+	case reflect.Float64:
+		b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case reflect.Complex64, reflect.Complex128:
+		fmt.Fprintf(b, "%v", v.Complex())
+	case reflect.String:
+		b.WriteString(strconv.Quote(v.String()))
+	case reflect.Ptr, reflect.Interface:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return
+		}
+		encode(b, v.Elem())
+	case reflect.Slice, reflect.Array:
+		if v.Kind() == reflect.Slice && v.IsNil() {
+			b.WriteString("nil")
+			return
+		}
+		b.WriteByte('[')
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			encode(b, v.Index(i))
+		}
+		b.WriteByte(']')
+	case reflect.Map:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return
+		}
+		entries := make([]string, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			var e strings.Builder
+			encode(&e, iter.Key())
+			e.WriteByte(':')
+			encode(&e, iter.Value())
+			entries = append(entries, e.String())
+		}
+		sort.Strings(entries)
+		b.WriteString("map{")
+		for i, e := range entries {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(e)
+		}
+		b.WriteByte('}')
+	case reflect.Struct:
+		t := v.Type()
+		fields := make([]string, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			var e strings.Builder
+			e.WriteString(f.Name)
+			e.WriteByte('=')
+			encode(&e, v.Field(i))
+			fields = append(fields, e.String())
+		}
+		sort.Strings(fields)
+		b.WriteByte('{')
+		for i, f := range fields {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(f)
+		}
+		b.WriteByte('}')
+	default:
+		// Chan, Func, UnsafePointer: no canonical value identity. Refusing
+		// loudly beats digesting an address.
+		panic(fmt.Sprintf("digest: cannot canonically encode kind %s", v.Kind()))
+	}
+}

@@ -1,0 +1,124 @@
+package digest
+
+import (
+	"strings"
+	"testing"
+)
+
+// reordered pairs: identical field sets, opposite declaration order.
+type abc struct {
+	Alpha int
+	Beta  string
+	Gamma float64
+	Inner inner
+}
+
+type cba struct {
+	Inner inner
+	Gamma float64
+	Beta  string
+	Alpha int
+}
+
+type inner struct {
+	X uint64
+	Y bool
+}
+
+func TestFieldOrderInsensitive(t *testing.T) {
+	a := abc{Alpha: 7, Beta: "b", Gamma: 2.5, Inner: inner{X: 9, Y: true}}
+	b := cba{Alpha: 7, Beta: "b", Gamma: 2.5, Inner: inner{X: 9, Y: true}}
+	if Canonical(a) != Canonical(b) {
+		t.Fatalf("field order changed encoding:\n a=%s\n b=%s", Canonical(a), Canonical(b))
+	}
+	if Sum(a) != Sum(b) {
+		t.Fatalf("field order changed digest: %s vs %s", Sum(a), Sum(b))
+	}
+}
+
+func TestMapIterationInsensitive(t *testing.T) {
+	m1 := map[string]int{}
+	m2 := map[string]int{}
+	keys := []string{"tpcw", "database", "specjbb", "specweb", "a", "b", "c", "d", "e", "f", "g", "h"}
+	for i, k := range keys {
+		m1[k] = i
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		m2[keys[i]] = i
+	}
+	want := Canonical(m1)
+	if got := Canonical(m2); got != want {
+		t.Fatalf("insertion order changed encoding:\n %s\n %s", want, got)
+	}
+	// Re-encoding the same map must be bit-stable despite Go's randomized
+	// map iteration.
+	for i := 0; i < 200; i++ {
+		if got := Canonical(m1); got != want {
+			t.Fatalf("iteration %d: unstable encoding:\n %s\n %s", i, want, got)
+		}
+	}
+}
+
+func TestScalarFormats(t *testing.T) {
+	cases := []struct {
+		in   interface{}
+		want string
+	}{
+		{true, "true"},
+		{int64(-3), "-3"},
+		{uint8(255), "255"},
+		{"x=1;y", `"x=1;y"`},
+		{1.1, "1.1"}, // round-trip float formatting, no %v truncation
+		{[]int{1, 2}, "[1,2]"},
+		{[]int(nil), "nil"},
+		{(*int)(nil), "nil"},
+	}
+	for _, c := range cases {
+		if got := Canonical(c.in); got != c.want {
+			t.Errorf("Canonical(%#v) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValueChangesDigest(t *testing.T) {
+	base := abc{Alpha: 1, Beta: "b", Gamma: 0.25, Inner: inner{X: 4, Y: false}}
+	variants := []abc{
+		{Alpha: 2, Beta: "b", Gamma: 0.25, Inner: inner{X: 4}},
+		{Alpha: 1, Beta: "c", Gamma: 0.25, Inner: inner{X: 4}},
+		{Alpha: 1, Beta: "b", Gamma: 0.26, Inner: inner{X: 4}},
+		{Alpha: 1, Beta: "b", Gamma: 0.25, Inner: inner{X: 5}},
+		{Alpha: 1, Beta: "b", Gamma: 0.25, Inner: inner{X: 4, Y: true}},
+	}
+	seen := map[string]bool{Sum(base): true}
+	for i, v := range variants {
+		d := Sum(v)
+		if seen[d] {
+			t.Errorf("variant %d: digest collision with an earlier value", i)
+		}
+		seen[d] = true
+	}
+}
+
+func TestUnexportedFieldsSkipped(t *testing.T) {
+	type hidden struct {
+		Exported int
+		secret   int
+	}
+	a := hidden{Exported: 1, secret: 1}
+	b := hidden{Exported: 1, secret: 2}
+	if Sum(a) != Sum(b) {
+		t.Fatal("unexported field leaked into digest")
+	}
+	if !strings.Contains(Canonical(a), "Exported=1") {
+		t.Fatalf("exported field missing from encoding: %s", Canonical(a))
+	}
+}
+
+func TestUnencodableKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for func value")
+		}
+	}()
+	Canonical(struct{ F func() }{F: func() {}})
+}

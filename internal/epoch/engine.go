@@ -15,6 +15,7 @@
 package epoch
 
 import (
+	"context"
 	"fmt"
 
 	"storemlp/internal/branch"
@@ -222,10 +223,31 @@ func (e *Engine) onSnoop(s coherence.Snoop) {
 // Run drives the engine over the instruction stream and returns the
 // accumulated statistics.
 func (e *Engine) Run(src trace.Source) (*Stats, error) {
+	return e.RunContext(context.Background(), src)
+}
+
+// ctxCheckMask throttles context polling to every 8192 instructions:
+// cheap relative to the per-instruction work, responsive relative to
+// any realistic deadline (a few hundred microseconds of simulation).
+const ctxCheckMask = 8192 - 1
+
+// RunContext is Run with cancellation: the engine polls ctx every few
+// thousand instructions and abandons the run — returning ctx's error
+// and no statistics — once the context is done. This is how the
+// serving layer honours client disconnects and per-request deadlines.
+func (e *Engine) RunContext(ctx context.Context, src trace.Source) (*Stats, error) {
 	if src == nil {
 		return nil, fmt.Errorf("epoch: nil trace source")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for {
+		if e.idx&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		in, ok := src.Next()
 		if !ok {
 			break

@@ -69,12 +69,12 @@ func AblationCoalescing(c Config) ([]CoalescingCell, error) {
 		}
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(cells), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(cells), c.Parallelism, func(i int) error {
 		cell := &cells[i]
 		cfg := uarch.Default()
 		cfg.CoalesceBytes = cell.CoalesceBytes
 		cfg.StoreQueue = cell.SQ
-		s, err := sim.Run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
+		s, err := c.run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
 		if err != nil {
 			return err
 		}
@@ -110,7 +110,7 @@ func AblationBandwidth(c Config) ([]BandwidthCell, error) {
 		}
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(cells), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(cells), c.Parallelism, func(i int) error {
 		cell := &cells[i]
 		cfg := uarch.Default()
 		switch cell.Scheme {
@@ -125,7 +125,7 @@ func AblationBandwidth(c Config) ([]BandwidthCell, error) {
 			cfg.SMACEntries = 4 << 10
 		}
 		w := smacScale(byName[cell.Workload])
-		s, err := sim.Run(sim.Spec{Workload: w, Uarch: cfg, Insts: insts, Warm: warm})
+		s, err := c.run(sim.Spec{Workload: w, Uarch: cfg, Insts: insts, Warm: warm})
 		if err != nil {
 			return err
 		}
@@ -159,9 +159,9 @@ func AblationSharedL2(c Config) ([]SharedL2Cell, error) {
 			SharedL2Cell{Workload: w.Name, CoRun: true})
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(cells), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(cells), c.Parallelism, func(i int) error {
 		cell := &cells[i]
-		s, err := sim.Run(sim.Spec{
+		s, err := c.run(sim.Spec{
 			Workload: byName[cell.Workload], Uarch: uarch.Default(),
 			Insts: c.Insts, Warm: c.Warm, SharedCore: cell.CoRun,
 		})
@@ -199,14 +199,14 @@ func AblationSMACGeometry(c Config) ([]SMACGeometryCell, error) {
 		}
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(cells), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(cells), c.Parallelism, func(i int) error {
 		cell := &cells[i]
 		cfg := uarch.Default()
 		cfg.StorePrefetch = uarch.Sp0
 		cfg.SMACEntries = 1 << 10
 		cfg.SMACSuperLineBytes = cell.SuperLineBytes
 		w := smacScale(byName[cell.Workload])
-		s, err := sim.Run(sim.Spec{Workload: w, Uarch: cfg, Insts: insts, Warm: warm})
+		s, err := c.run(sim.Spec{Workload: w, Uarch: cfg, Insts: insts, Warm: warm})
 		if err != nil {
 			return err
 		}
@@ -238,7 +238,7 @@ func AblationLockElision(c Config) ([]LockElisionCell, error) {
 		}
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(cells), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(cells), c.Parallelism, func(i int) error {
 		cell := &cells[i]
 		cfg := uarch.Default()
 		switch cell.Scheme {
@@ -247,7 +247,7 @@ func AblationLockElision(c Config) ([]LockElisionCell, error) {
 		case "TM":
 			cfg.TM = true
 		}
-		s, err := sim.Run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
+		s, err := c.run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
 		if err != nil {
 			return err
 		}
@@ -277,12 +277,12 @@ func AblationScoutReach(c Config) ([]ScoutReachCell, error) {
 		}
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(cells), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(cells), c.Parallelism, func(i int) error {
 		cell := &cells[i]
 		cfg := uarch.Default()
 		cfg.HWS = uarch.HWS2
 		cfg.ScoutReach = cell.Reach
-		s, err := sim.Run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
+		s, err := c.run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
 		if err != nil {
 			return err
 		}

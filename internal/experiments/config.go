@@ -6,10 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"storemlp/internal/epoch"
+	"storemlp/internal/sim"
 	"storemlp/internal/workload"
 )
 
@@ -26,6 +29,10 @@ type Config struct {
 	Parallelism int
 	// Workloads defaults to the paper's four.
 	Workloads []workload.Params
+	// Ctx cancels the sweep mid-flight (nil = context.Background()).
+	// cmd/experiments wires a SIGINT-bound context here so a multi-minute
+	// harness run dies promptly on Ctrl-C.
+	Ctx context.Context
 }
 
 // DefaultConfig returns a configuration sized for the full harness:
@@ -53,9 +60,27 @@ func (c Config) norm() Config {
 	return c
 }
 
+// ctx returns the sweep's context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// run executes one simulation under the sweep's context, so cancelling
+// Config.Ctx aborts every in-flight engine loop.
+func (c Config) run(spec sim.Spec) (*epoch.Stats, error) {
+	return sim.RunContext(c.ctx(), spec)
+}
+
 // parMap runs fn(0..n-1) with bounded parallelism, returning the first
-// error.
-func parMap(n, parallelism int, fn func(i int) error) error {
+// error. A cancelled ctx stops launching new work; already-running fns
+// are expected to observe the same ctx themselves.
+func parMap(ctx context.Context, n, parallelism int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if parallelism < 1 {
 		parallelism = 1
 	}
@@ -64,6 +89,14 @@ func parMap(n, parallelism int, fn func(i int) error) error {
 	var mu sync.Mutex
 	var first error
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			mu.Lock()
+			if first == nil {
+				first = err
+			}
+			mu.Unlock()
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -19,7 +20,7 @@ func small() Config {
 
 func TestParMap(t *testing.T) {
 	out := make([]int, 100)
-	if err := parMap(100, 8, func(i int) error {
+	if err := parMap(context.Background(), 100, 8, func(i int) error {
 		out[i] = i * i
 		return nil
 	}); err != nil {
@@ -31,7 +32,7 @@ func TestParMap(t *testing.T) {
 		}
 	}
 	wantErr := errors.New("boom")
-	if err := parMap(10, 2, func(i int) error {
+	if err := parMap(context.Background(), 10, 2, func(i int) error {
 		if i == 5 {
 			return wantErr
 		}
@@ -39,8 +40,33 @@ func TestParMap(t *testing.T) {
 	}); err == nil || !errors.Is(err, wantErr) {
 		t.Errorf("parMap error = %v", err)
 	}
-	if err := parMap(3, 0, func(int) error { return nil }); err != nil {
+	if err := parMap(context.Background(), 3, 0, func(int) error { return nil }); err != nil {
 		t.Errorf("parallelism 0 should clamp: %v", err)
+	}
+}
+
+func TestParMapCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	err := parMap(ctx, 50, 1, func(i int) error { ran++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("launched %d fns under a cancelled context", ran)
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	// A cancelled context must abort a full-figure sweep with its error,
+	// not run it to completion.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := small()
+	c.Ctx = ctx
+	if _, err := Table2(c); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Table2 under cancelled ctx: err = %v", err)
 	}
 }
 

@@ -42,7 +42,7 @@ func Figure2(c Config) ([]Fig2Cell, error) {
 		cells = append(cells, Fig2Cell{Workload: w.Name, Perfect: true})
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(cells), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(cells), c.Parallelism, func(i int) error {
 		cell := &cells[i]
 		cfg := uarch.Default()
 		if cell.Perfect {
@@ -52,7 +52,7 @@ func Figure2(c Config) ([]Fig2Cell, error) {
 			cfg.StoreBuffer = cell.SB
 			cfg.StoreQueue = cell.SQ
 		}
-		s, err := sim.Run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
+		s, err := c.run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
 		if err != nil {
 			return err
 		}
@@ -82,14 +82,14 @@ func Figure3(c Config) ([]Fig3Row, error) {
 			Fig3Row{Workload: w.Name, Variant: "B"})
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(rows), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(rows), c.Parallelism, func(i int) error {
 		row := &rows[i]
 		cfg := uarch.Default()
 		if row.Variant == "B" {
 			cfg.SLE = true
 			cfg.PrefetchPastSerializing = true
 		}
-		s, err := sim.Run(sim.Spec{Workload: byName[row.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
+		s, err := c.run(sim.Spec{Workload: byName[row.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
 		if err != nil {
 			return err
 		}
@@ -118,9 +118,9 @@ type Fig4Row struct {
 func Figure4(c Config) ([]Fig4Row, error) {
 	c = c.norm()
 	rows := make([]Fig4Row, len(c.Workloads))
-	err := parMap(len(c.Workloads), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(c.Workloads), c.Parallelism, func(i int) error {
 		w := c.Workloads[i]
-		s, err := sim.Run(sim.Spec{Workload: w, Uarch: uarch.Default(), Insts: c.Insts, Warm: c.Warm})
+		s, err := c.run(sim.Spec{Workload: w, Uarch: uarch.Default(), Insts: c.Insts, Warm: c.Warm})
 		if err != nil {
 			return err
 		}
@@ -207,7 +207,7 @@ func Figure5(c Config) ([]Fig5Cell, error) {
 		cells = append(cells, Fig5Cell{Workload: w.Name, Perfect: true})
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(cells), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(cells), c.Parallelism, func(i int) error {
 		cell := &cells[i]
 		cfg := uarch.Default()
 		if cell.Perfect {
@@ -217,7 +217,7 @@ func Figure5(c Config) ([]Fig5Cell, error) {
 			cfg.SMACEntries = cell.SMACEntries
 		}
 		w := smacScale(byName[cell.Workload])
-		s, err := sim.Run(sim.Spec{Workload: w, Uarch: cfg, Insts: insts, Warm: warm})
+		s, err := c.run(sim.Spec{Workload: w, Uarch: cfg, Insts: insts, Warm: warm})
 		if err != nil {
 			return err
 		}
@@ -253,13 +253,13 @@ func Figure6(c Config) ([]Fig6Cell, error) {
 		}
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(cells), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(cells), c.Parallelism, func(i int) error {
 		cell := &cells[i]
 		cfg := uarch.Default()
 		cfg.SMACEntries = cell.SMACEntries
 		cfg.Nodes = cell.Nodes
 		w := smacScale(byName[cell.Workload])
-		s, err := sim.Run(sim.Spec{Workload: w, Uarch: cfg, Insts: insts, Warm: warm})
+		s, err := c.run(sim.Spec{Workload: w, Uarch: cfg, Insts: insts, Warm: warm})
 		if err != nil {
 			return err
 		}
@@ -323,12 +323,12 @@ func Figure7(c Config) ([]Fig7Cell, error) {
 		}
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(cells), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(cells), c.Parallelism, func(i int) error {
 		cell := &cells[i]
 		cfg := fig7Uarch(cell.Config)
 		cfg.StorePrefetch = cell.Prefetch
 		cfg.PerfectStores = cell.Perfect
-		s, err := sim.Run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
+		s, err := c.run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
 		if err != nil {
 			return err
 		}
@@ -362,13 +362,13 @@ func Figure8(c Config) ([]Fig8Cell, error) {
 		}
 	}
 	byName := workloadIndex(c.Workloads)
-	err := parMap(len(cells), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(cells), c.Parallelism, func(i int) error {
 		cell := &cells[i]
 		cfg := uarch.Default()
 		cfg.Model = cell.Model
 		cfg.HWS = cell.HWS
 		cfg.PerfectStores = cell.Perfect
-		s, err := sim.Run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
+		s, err := c.run(sim.Spec{Workload: byName[cell.Workload], Uarch: cfg, Insts: c.Insts, Warm: c.Warm})
 		if err != nil {
 			return err
 		}

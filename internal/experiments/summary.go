@@ -41,8 +41,8 @@ type SummaryRow struct {
 func Summary(c Config) ([]SummaryRow, error) {
 	c = c.norm()
 	stats := make([]*epoch.Stats, len(c.Workloads))
-	err := parMap(len(c.Workloads), c.Parallelism, func(i int) error {
-		s, err := sim.Run(sim.Spec{
+	err := parMap(c.ctx(), len(c.Workloads), c.Parallelism, func(i int) error {
+		s, err := c.run(sim.Spec{
 			Workload: c.Workloads[i], Uarch: uarch.Default(),
 			Insts: c.Insts, Warm: c.Warm,
 		})

@@ -26,7 +26,7 @@ type Table1Row struct {
 func Table1(c Config) ([]Table1Row, error) {
 	c = c.norm()
 	rows := make([]Table1Row, len(c.Workloads))
-	err := parMap(len(c.Workloads), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(c.Workloads), c.Parallelism, func(i int) error {
 		w := c.Workloads[i]
 		if err := w.Validate(); err != nil {
 			return err
@@ -86,9 +86,9 @@ type Table2Row struct {
 func Table2(c Config) ([]Table2Row, error) {
 	c = c.norm()
 	rows := make([]Table2Row, len(c.Workloads))
-	err := parMap(len(c.Workloads), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(c.Workloads), c.Parallelism, func(i int) error {
 		w := c.Workloads[i]
-		s, err := sim.Run(sim.Spec{Workload: w, Uarch: uarch.Default(), Insts: c.Insts, Warm: c.Warm})
+		s, err := c.run(sim.Spec{Workload: w, Uarch: uarch.Default(), Insts: c.Insts, Warm: c.Warm})
 		if err != nil {
 			return err
 		}
@@ -110,7 +110,7 @@ func Table3(c Config) ([]Table3Row, error) {
 	c = c.norm()
 	rows := make([]Table3Row, len(c.Workloads))
 	model := onchip.DefaultModel()
-	err := parMap(len(c.Workloads), c.Parallelism, func(i int) error {
+	err := parMap(c.ctx(), len(c.Workloads), c.Parallelism, func(i int) error {
 		w := c.Workloads[i]
 		in, err := onchip.Measure(w, c.Warm, c.Insts)
 		if err != nil {

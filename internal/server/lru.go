@@ -1,0 +1,77 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a size-bounded most-recently-used result cache keyed by
+// config digest. Sweeps revisit identical points constantly (every
+// repeated figure grid, every retried request), so a small LRU converts
+// the common case from a multi-hundred-millisecond simulation into a
+// map lookup.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	evictions int64
+}
+
+type lruEntry struct {
+	key string
+	val *RunResult
+}
+
+func newLRUCache(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached result and refreshes its recency.
+func (c *lruCache) get(key string) (*RunResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) a result, evicting the least recently used
+// entry when full.
+func (c *lruCache) add(key string, val *RunResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// evicted returns the total number of evictions.
+func (c *lruCache) evicted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is a minimal Prometheus-text-format metrics registry. The
+// module pins zero external dependencies, so instead of the prometheus
+// client library we expose exactly the instrument kinds the daemon
+// needs — counters, gauges, and fixed-bucket histograms — rendered in
+// the text exposition format any Prometheus scraper understands.
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram observes float64 samples into cumulative buckets.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending; +Inf implied
+	counts []int64   // len(bounds)+1
+	sum    float64
+	count  int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// DefBuckets are latency buckets in seconds, spanning cache hits
+// (microseconds) through multi-second cold simulations.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name   string // base name, no labels
+	help   string
+	kind   metricKind
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Metrics is a registry of instruments that renders itself in the
+// Prometheus text exposition format.
+type Metrics struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byKey   map[string]*metric
+	// onScrape hooks run before each render, for gauges derived from
+	// ambient state (uptime, cache size).
+	onScrape []func()
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{byKey: make(map[string]*metric)}
+}
+
+// labelString renders k,v pairs as a stable label block.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics: odd label key/value list")
+	}
+	pairs := make([]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func (m *Metrics) register(name, help string, kind metricKind, kv []string) *metric {
+	labels := labelString(kv)
+	key := name + labels
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if existing, ok := m.byKey[key]; ok {
+		if existing.kind != kind {
+			panic("metrics: " + key + " re-registered with a different kind")
+		}
+		return existing
+	}
+	mt := &metric{name: name, help: help, kind: kind, labels: labels}
+	m.metrics = append(m.metrics, mt)
+	m.byKey[key] = mt
+	return mt
+}
+
+// Counter registers (or returns) a counter. kv are label key/value
+// pairs, e.g. Counter("requests_total", "...", "endpoint", "run").
+func (m *Metrics) Counter(name, help string, kv ...string) *Counter {
+	mt := m.register(name, help, kindCounter, kv)
+	if mt.c == nil {
+		mt.c = &Counter{}
+	}
+	return mt.c
+}
+
+// Gauge registers (or returns) a gauge.
+func (m *Metrics) Gauge(name, help string, kv ...string) *Gauge {
+	mt := m.register(name, help, kindGauge, kv)
+	if mt.g == nil {
+		mt.g = &Gauge{}
+	}
+	return mt.g
+}
+
+// Histogram registers (or returns) a histogram with the given upper
+// bounds (ascending; +Inf is implicit).
+func (m *Metrics) Histogram(name, help string, bounds []float64, kv ...string) *Histogram {
+	mt := m.register(name, help, kindHistogram, kv)
+	if mt.h == nil {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		mt.h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+	}
+	return mt.h
+}
+
+// OnScrape registers a hook run before every render.
+func (m *Metrics) OnScrape(fn func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onScrape = append(m.onScrape, fn)
+}
+
+// WriteTo renders the registry in Prometheus text format, grouped by
+// metric name with HELP/TYPE headers, names and label sets sorted.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	hooks := append([]func(){}, m.onScrape...)
+	ms := append([]*metric{}, m.metrics...)
+	m.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return ms[i].labels < ms[j].labels
+	})
+	var b strings.Builder
+	lastName := ""
+	for _, mt := range ms {
+		if mt.name != lastName {
+			fmt.Fprintf(&b, "# HELP %s %s\n", mt.name, mt.help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", mt.name, [...]string{"counter", "gauge", "histogram"}[mt.kind])
+			lastName = mt.name
+		}
+		switch mt.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", mt.name, mt.labels, mt.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %d\n", mt.name, mt.labels, mt.g.Value())
+		case kindHistogram:
+			mt.h.mu.Lock()
+			cum := int64(0)
+			for i, bound := range mt.h.bounds {
+				cum += mt.h.counts[i]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", mt.name, mergeLabels(mt.labels, "le", formatBound(bound)), cum)
+			}
+			cum += mt.h.counts[len(mt.h.bounds)]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", mt.name, mergeLabels(mt.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(&b, "%s_sum%s %g\n", mt.name, mt.labels, mt.h.sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", mt.name, mt.labels, mt.h.count)
+			mt.h.mu.Unlock()
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// mergeLabels appends one extra label pair to a rendered label block.
+func mergeLabels(labels, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// Handler serves the registry over HTTP.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := m.WriteTo(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,711 @@
+// Package server implements mlpsimd's HTTP JSON serving layer: a
+// long-running simulation service in front of the epoch MLP engine.
+//
+// The request path for one sweep point is
+//
+//	digest -> result cache -> singleflight coalescing -> worker pool -> engine
+//
+// Every run is identified by the canonical digest of its full
+// specification (workload calibration + machine configuration +
+// instruction budget, see internal/digest). Identical concurrent
+// requests coalesce onto one engine execution; completed results enter
+// a size-bounded LRU cache; the worker pool bounds concurrent
+// simulations to the configured width (default GOMAXPROCS) so a burst
+// of requests queues instead of thrashing the scheduler. Requests honor
+// client disconnects and per-request deadlines through context
+// cancellation threaded into the engine's instruction loop, and the
+// daemon drains in-flight simulations on shutdown.
+//
+// Observability: /metrics serves Prometheus text format (request
+// counts and latencies, cache hit ratio, coalesced requests, in-flight
+// simulations, worker-queue depth), /healthz serves a liveness summary,
+// and every request is logged with a request ID. DESIGN.md §9 has the
+// full inventory.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"storemlp/internal/consistency"
+	"storemlp/internal/digest"
+	"storemlp/internal/epoch"
+	"storemlp/internal/sim"
+	"storemlp/internal/uarch"
+	"storemlp/internal/workload"
+)
+
+// Runner executes one resolved simulation. The default runner drives
+// the epoch engine via sim.RunContext; tests substitute counters.
+type Runner func(ctx context.Context, spec sim.Spec) (*epoch.Stats, error)
+
+// Config configures the service.
+type Config struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// CacheEntries sizes the result LRU (default 4096; <0 disables).
+	CacheEntries int
+	// MaxInsts caps Insts+Warm per request (default 100M) so one request
+	// cannot monopolize the service.
+	MaxInsts int64
+	// DefaultTimeout bounds each request when the client sends none
+	// (default 120s; <=0 keeps the default).
+	DefaultTimeout time.Duration
+	// Runner substitutes the simulation executor (tests); nil = engine.
+	Runner Runner
+	// Logger receives structured request logs; nil = slog.Default().
+	Logger *slog.Logger
+}
+
+// Server is the mlpsimd service core. Create with New, mount Handler
+// into an http.Server, and Close when the HTTP server has shut down.
+type Server struct {
+	cfg    Config
+	log    *slog.Logger
+	runner Runner
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	cache   *lruCache
+	flights *flightGroup
+	slots   chan struct{}
+
+	start  time.Time
+	reqSeq atomic.Int64
+
+	// Metrics is the service registry, exported for /metrics mounting
+	// and for tests.
+	Metrics *Metrics
+
+	mReqs         map[string]map[string]*Counter // endpoint -> class -> counter
+	mLatency      map[string]*Histogram
+	mCacheHits    *Counter
+	mCacheMisses  *Counter
+	mCacheEvicted *Counter
+	mCacheEntries *Gauge
+	mCoalesced    *Counter
+	mInflight     *Gauge
+	mQueueDepth   *Gauge
+	mExecuted     *Counter
+	mFailures     *Counter
+	mInsts        *Counter
+	mUptime       *Gauge
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.MaxInsts <= 0 {
+		cfg.MaxInsts = 100_000_000
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 120 * time.Second
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = func(ctx context.Context, spec sim.Spec) (*epoch.Stats, error) {
+			return sim.RunContext(ctx, spec)
+		}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		runner:  cfg.Runner,
+		baseCtx: ctx,
+		stop:    cancel,
+		flights: newFlightGroup(ctx),
+		slots:   make(chan struct{}, cfg.Workers),
+		start:   time.Now(),
+		Metrics: NewMetrics(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newLRUCache(cfg.CacheEntries)
+	}
+	s.registerMetrics()
+	return s
+}
+
+func (s *Server) registerMetrics() {
+	m := s.Metrics
+	s.mReqs = make(map[string]map[string]*Counter)
+	s.mLatency = make(map[string]*Histogram)
+	for _, ep := range []string{"run", "sweep", "healthz", "metrics"} {
+		byClass := make(map[string]*Counter)
+		for _, class := range []string{"2xx", "4xx", "5xx"} {
+			byClass[class] = m.Counter("mlpsimd_requests_total",
+				"HTTP requests by endpoint and status class.",
+				"endpoint", ep, "class", class)
+		}
+		s.mReqs[ep] = byClass
+		s.mLatency[ep] = m.Histogram("mlpsimd_request_seconds",
+			"Request latency in seconds.", DefBuckets, "endpoint", ep)
+	}
+	s.mCacheHits = m.Counter("mlpsimd_cache_hits_total", "Result-cache hits.")
+	s.mCacheMisses = m.Counter("mlpsimd_cache_misses_total", "Result-cache misses.")
+	s.mCacheEvicted = m.Counter("mlpsimd_cache_evictions_total", "Result-cache LRU evictions.")
+	s.mCacheEntries = m.Gauge("mlpsimd_cache_entries", "Result-cache current size.")
+	s.mCoalesced = m.Counter("mlpsimd_coalesced_requests_total",
+		"Requests that joined an identical in-flight simulation instead of executing.")
+	s.mInflight = m.Gauge("mlpsimd_sims_inflight", "Simulations currently executing.")
+	s.mQueueDepth = m.Gauge("mlpsimd_queue_depth", "Simulations waiting for a worker slot.")
+	s.mExecuted = m.Counter("mlpsimd_sims_executed_total", "Engine executions started.")
+	s.mFailures = m.Counter("mlpsimd_sim_failures_total", "Engine executions that returned an error.")
+	s.mInsts = m.Counter("mlpsimd_insts_simulated_total", "Instructions simulated (measured + warmup).")
+	s.mUptime = m.Gauge("mlpsimd_uptime_seconds", "Seconds since process start.")
+	m.OnScrape(func() {
+		s.mUptime.Set(int64(time.Since(s.start).Seconds()))
+		if s.cache != nil {
+			s.mCacheEntries.Set(int64(s.cache.len()))
+			// Evictions live in the cache; mirror them into the counter.
+			if d := s.cache.evicted() - s.mCacheEvicted.Value(); d > 0 {
+				s.mCacheEvicted.Add(d)
+			}
+		}
+	})
+}
+
+// Close aborts any still-running simulations. Call it after the HTTP
+// server has drained (http.Server.Shutdown), not before.
+func (s *Server) Close() { s.stop() }
+
+// ---- request / response types ----
+
+// ConfigPatch is a partial machine configuration: nil fields keep the
+// paper's §4.3 defaults. It covers every knob the paper's figures
+// sweep.
+type ConfigPatch struct {
+	Model                   *string `json:"model,omitempty"`          // "pc" | "wc"
+	StorePrefetch           *int    `json:"store_prefetch,omitempty"` // 0, 1, 2
+	StoreBuffer             *int    `json:"store_buffer,omitempty"`
+	StoreQueue              *int    `json:"store_queue,omitempty"` // 0 = unbounded
+	ROB                     *int    `json:"rob,omitempty"`
+	CoalesceBytes           *int    `json:"coalesce_bytes,omitempty"`
+	SLE                     *bool   `json:"sle,omitempty"`
+	TM                      *bool   `json:"tm,omitempty"`
+	PrefetchPastSerializing *bool   `json:"pps,omitempty"`
+	HWS                     *int    `json:"hws,omitempty"` // -1 off, 0..2
+	SMACEntries             *int    `json:"smac_entries,omitempty"`
+	Nodes                   *int    `json:"nodes,omitempty"`
+	MissPenalty             *int    `json:"miss_penalty,omitempty"`
+	PerfectStores           *bool   `json:"perfect_stores,omitempty"`
+}
+
+// apply overlays the patch on cfg and returns the result.
+func (p *ConfigPatch) apply(cfg uarch.Config) (uarch.Config, error) {
+	if p == nil {
+		return cfg, nil
+	}
+	if p.Model != nil {
+		switch strings.ToLower(*p.Model) {
+		case "pc", "tso":
+			cfg.Model = consistency.PC
+		case "wc", "powerpc":
+			cfg.Model = consistency.WC
+		default:
+			return cfg, fmt.Errorf("unknown model %q (want pc or wc)", *p.Model)
+		}
+	}
+	if p.StorePrefetch != nil {
+		switch *p.StorePrefetch {
+		case 0:
+			cfg.StorePrefetch = uarch.Sp0
+		case 1:
+			cfg.StorePrefetch = uarch.Sp1
+		case 2:
+			cfg.StorePrefetch = uarch.Sp2
+		default:
+			return cfg, fmt.Errorf("unknown store_prefetch %d (want 0..2)", *p.StorePrefetch)
+		}
+	}
+	if p.HWS != nil {
+		switch *p.HWS {
+		case -1:
+			cfg.HWS = uarch.NoHWS
+		case 0:
+			cfg.HWS = uarch.HWS0
+		case 1:
+			cfg.HWS = uarch.HWS1
+		case 2:
+			cfg.HWS = uarch.HWS2
+		default:
+			return cfg, fmt.Errorf("unknown hws %d (want -1..2)", *p.HWS)
+		}
+	}
+	if p.StoreBuffer != nil {
+		cfg.StoreBuffer = *p.StoreBuffer
+	}
+	if p.StoreQueue != nil {
+		cfg.StoreQueue = *p.StoreQueue
+	}
+	if p.ROB != nil {
+		cfg.ROB = *p.ROB
+	}
+	if p.CoalesceBytes != nil {
+		cfg.CoalesceBytes = *p.CoalesceBytes
+	}
+	if p.SLE != nil {
+		cfg.SLE = *p.SLE
+	}
+	if p.TM != nil {
+		cfg.TM = *p.TM
+	}
+	if p.PrefetchPastSerializing != nil {
+		cfg.PrefetchPastSerializing = *p.PrefetchPastSerializing
+	}
+	if p.SMACEntries != nil {
+		cfg.SMACEntries = *p.SMACEntries
+	}
+	if p.Nodes != nil {
+		cfg.Nodes = *p.Nodes
+	}
+	if p.MissPenalty != nil {
+		cfg.MissPenalty = *p.MissPenalty
+	}
+	if p.PerfectStores != nil {
+		cfg.PerfectStores = *p.PerfectStores
+	}
+	return cfg, nil
+}
+
+// RunRequest is one simulation request.
+type RunRequest struct {
+	// Workload names one of the paper's four: database, tpcw, specjbb,
+	// specweb.
+	Workload string `json:"workload"`
+	Seed     int64  `json:"seed,omitempty"`  // default 1
+	Insts    int64  `json:"insts,omitempty"` // default 2,000,000
+	Warm     int64  `json:"warm,omitempty"`  // default 1,000,000
+	// Config overlays knobs on the paper's default configuration.
+	Config         *ConfigPatch `json:"config,omitempty"`
+	DisableTraffic bool         `json:"disable_traffic,omitempty"`
+	SharedCore     bool         `json:"shared_core,omitempty"`
+	// NoCache bypasses the result cache AND coalescing: the request
+	// always executes a fresh simulation (benchmark cold path).
+	NoCache bool `json:"nocache,omitempty"`
+	// TimeoutMS bounds this request (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResult is the epoch.Stats-derived payload of one run.
+type RunResult struct {
+	ConfigName              string  `json:"config_name"`
+	Insts                   int64   `json:"insts"`
+	Epochs                  int64   `json:"epochs"`
+	EPI                     float64 `json:"epi"`
+	MLP                     float64 `json:"mlp"`
+	StoreMLP                float64 `json:"store_mlp"`
+	OffChipCPI              float64 `json:"off_chip_cpi"`
+	OverlappedStoreFraction float64 `json:"overlapped_store_fraction"`
+	StoreMisses             int64   `json:"store_misses"`
+	LoadMisses              int64   `json:"load_misses"`
+	InstMisses              int64   `json:"inst_misses"`
+	SMACAccelerated         int64   `json:"smac_accelerated,omitempty"`
+}
+
+// RunResponse wraps a result with its serving provenance.
+type RunResponse struct {
+	Digest string `json:"digest"`
+	// Cached: served from the result cache without executing.
+	Cached bool `json:"cached"`
+	// Coalesced: joined an identical in-flight execution.
+	Coalesced bool      `json:"coalesced"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Result    RunResult `json:"result"`
+}
+
+// SweepRequest executes many points; each flows through the same
+// digest/cache/coalescing pipeline, bounded by the worker pool.
+type SweepRequest struct {
+	Points []RunRequest `json:"points"`
+}
+
+// SweepResponse aggregates the per-point responses in request order.
+type SweepResponse struct {
+	Points    []RunResponse `json:"points"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Cached    int           `json:"cached"`
+	Coalesced int           `json:"coalesced"`
+}
+
+// httpError carries a status code out of the serving pipeline.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...interface{}) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// resolve turns a RunRequest into a validated sim.Spec and its digest.
+func (s *Server) resolve(req RunRequest) (sim.Spec, string, error) {
+	if req.Workload == "" {
+		return sim.Spec{}, "", badRequest("missing workload")
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	w, err := workload.ByName(strings.ToLower(req.Workload), seed)
+	if err != nil {
+		return sim.Spec{}, "", badRequest("%v", err)
+	}
+	cfg, err := req.Config.apply(uarch.Default())
+	if err != nil {
+		return sim.Spec{}, "", badRequest("config: %v", err)
+	}
+	insts, warm := req.Insts, req.Warm
+	if insts == 0 {
+		insts = 2_000_000
+	}
+	if warm == 0 {
+		warm = 1_000_000
+	}
+	if insts+warm > s.cfg.MaxInsts {
+		return sim.Spec{}, "", badRequest("insts+warm %d exceeds server limit %d", insts+warm, s.cfg.MaxInsts)
+	}
+	spec := sim.Spec{
+		Workload:       w,
+		Uarch:          cfg,
+		Insts:          insts,
+		Warm:           warm,
+		DisableTraffic: req.DisableTraffic,
+		SharedCore:     req.SharedCore,
+	}
+	if err := spec.Validate(); err != nil {
+		return sim.Spec{}, "", badRequest("%v", err)
+	}
+	return spec, digest.Sum(spec), nil
+}
+
+// execute runs one simulation on the worker pool: it waits for a slot
+// (queue-depth gauge), runs the engine (in-flight gauge), and converts
+// the stats.
+func (s *Server) execute(ctx context.Context, spec sim.Spec) (*RunResult, error) {
+	s.mQueueDepth.Add(1)
+	select {
+	case s.slots <- struct{}{}:
+		s.mQueueDepth.Add(-1)
+	case <-ctx.Done():
+		s.mQueueDepth.Add(-1)
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.slots }()
+
+	s.mInflight.Add(1)
+	s.mExecuted.Inc()
+	defer s.mInflight.Add(-1)
+	stats, err := s.runner(ctx, spec)
+	if err != nil {
+		s.mFailures.Inc()
+		return nil, err
+	}
+	s.mInsts.Add(spec.Insts + spec.Warm)
+	return &RunResult{
+		ConfigName:              spec.Uarch.Name(),
+		Insts:                   stats.Insts,
+		Epochs:                  stats.Epochs,
+		EPI:                     stats.EPI(),
+		MLP:                     stats.MLP(),
+		StoreMLP:                stats.StoreMLP(),
+		OffChipCPI:              stats.OffChipCPI(spec.Uarch.MissPenalty),
+		OverlappedStoreFraction: stats.OverlappedStoreFraction(),
+		StoreMisses:             stats.StoreMisses,
+		LoadMisses:              stats.LoadMisses,
+		InstMisses:              stats.InstMisses,
+		SMACAccelerated:         stats.SMACAccelerated,
+	}, nil
+}
+
+// servePoint is the full pipeline for one point:
+// cache -> coalesce -> pool -> engine.
+func (s *Server) servePoint(ctx context.Context, req RunRequest) (RunResponse, error) {
+	start := time.Now()
+	spec, key, err := s.resolve(req)
+	if err != nil {
+		return RunResponse{}, err
+	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	resp := RunResponse{Digest: key}
+
+	if req.NoCache {
+		// Benchmark cold path: always a fresh execution, never shared.
+		res, err := s.execute(ctx, spec)
+		if err != nil {
+			return RunResponse{}, err
+		}
+		resp.Result = *res
+		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		return resp, nil
+	}
+
+	if s.cache != nil {
+		if res, ok := s.cache.get(key); ok {
+			s.mCacheHits.Inc()
+			resp.Cached = true
+			resp.Result = *res
+			resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+			return resp, nil
+		}
+		s.mCacheMisses.Inc()
+	}
+
+	res, shared, err := s.flights.do(ctx, key, func(execCtx context.Context) (*RunResult, error) {
+		r, err := s.execute(execCtx, spec)
+		if err != nil {
+			return nil, err
+		}
+		if s.cache != nil {
+			s.cache.add(key, r)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return RunResponse{}, err
+	}
+	if shared {
+		s.mCoalesced.Inc()
+	}
+	resp.Coalesced = shared
+	resp.Result = *res
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp, nil
+}
+
+// ---- HTTP layer ----
+
+// Handler returns the service mux wrapped with request logging and
+// metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.Metrics.Handler())
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func endpointOf(path string) string {
+	switch path {
+	case "/v1/run":
+		return "run"
+	case "/v1/sweep":
+		return "sweep"
+	case "/healthz":
+		return "healthz"
+	case "/metrics":
+		return "metrics"
+	}
+	return "run" // unknown paths 404 through the mux; bucket arbitrarily
+}
+
+func classOf(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	}
+	return "2xx"
+}
+
+// instrument wraps the mux with request IDs, structured logs, latency
+// histograms and request counters.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := fmt.Sprintf("%06x-%04d", start.UnixNano()&0xffffff, s.reqSeq.Add(1)%10000)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(sw, r.WithContext(withRequestID(r.Context(), id)))
+		dur := time.Since(start)
+		ep := endpointOf(r.URL.Path)
+		if byClass, ok := s.mReqs[ep]; ok {
+			byClass[classOf(sw.status)].Inc()
+		}
+		if h, ok := s.mLatency[ep]; ok {
+			h.Observe(dur.Seconds())
+		}
+		level := slog.LevelInfo
+		if ep == "healthz" || ep == "metrics" {
+			level = slog.LevelDebug // probe noise
+		}
+		s.log.LogAttrs(r.Context(), level, "request",
+			slog.String("req_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("dur", dur),
+		)
+	})
+}
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request ID the logging middleware attached.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// writeJSON encodes v with a status code.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// fail maps pipeline errors to HTTP statuses.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
+	var he *httpError
+	status := http.StatusInternalServerError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away (or the server is shutting down): the exact
+		// code rarely reaches anyone, but 499-style semantics fit 503.
+		status = http.StatusServiceUnavailable
+	}
+	s.log.LogAttrs(r.Context(), slog.LevelWarn, "request failed",
+		slog.String("req_id", RequestID(r.Context())),
+		slog.Int("status", status),
+		slog.String("err", err.Error()),
+	)
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, r, badRequest("decoding request: %v", err))
+		return
+	}
+	resp, err := s.servePoint(r.Context(), req)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxSweepPoints bounds one sweep request; larger grids should be
+// split by the client.
+const maxSweepPoints = 4096
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, r, badRequest("decoding request: %v", err))
+		return
+	}
+	if len(req.Points) == 0 {
+		s.fail(w, r, badRequest("empty sweep"))
+		return
+	}
+	if len(req.Points) > maxSweepPoints {
+		s.fail(w, r, badRequest("sweep of %d points exceeds limit %d", len(req.Points), maxSweepPoints))
+		return
+	}
+	start := time.Now()
+	resp := SweepResponse{Points: make([]RunResponse, len(req.Points))}
+	errs := make([]error, len(req.Points))
+	var wg sync.WaitGroup
+	for i := range req.Points {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp.Points[i], errs[i] = s.servePoint(r.Context(), req.Points[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.fail(w, r, err)
+			return
+		}
+	}
+	for _, p := range resp.Points {
+		if p.Cached {
+			resp.Cached++
+		}
+		if p.Coalesced {
+			resp.Coalesced++
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type healthBody struct {
+	Status       string  `json:"status"`
+	UptimeS      float64 `json:"uptime_s"`
+	Workers      int     `json:"workers"`
+	Inflight     int64   `json:"inflight"`
+	QueueDepth   int64   `json:"queue_depth"`
+	CacheEntries int     `json:"cache_entries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	entries := 0
+	if s.cache != nil {
+		entries = s.cache.len()
+	}
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:       "ok",
+		UptimeS:      time.Since(s.start).Seconds(),
+		Workers:      s.cfg.Workers,
+		Inflight:     s.mInflight.Value(),
+		QueueDepth:   s.mQueueDepth.Value(),
+		CacheEntries: entries,
+	})
+}

@@ -1,0 +1,538 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"storemlp/internal/epoch"
+	"storemlp/internal/sim"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// countingRunner returns a Runner that counts executions, sleeps for
+// delay (observing ctx), and fabricates deterministic stats.
+func countingRunner(execs *atomic.Int64, delay time.Duration) Runner {
+	return func(ctx context.Context, spec sim.Spec) (*epoch.Stats, error) {
+		execs.Add(1)
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return &epoch.Stats{Insts: spec.Insts, Epochs: spec.Insts / 100, StoreMisses: 7}, nil
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = quietLogger()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body interface{}) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func decodeRun(t *testing.T, raw []byte) RunResponse {
+	t.Helper()
+	var rr RunResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatalf("decoding %s: %v", raw, err)
+	}
+	return rr
+}
+
+// TestCoalescingExactlyOneExecution is the serving-layer keystone: N
+// concurrent identical requests must cost exactly one engine execution
+// and produce N identical responses. Run under -race via make check.
+func TestCoalescingExactlyOneExecution(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Workers: 4,
+		Runner:  countingRunner(&execs, 100*time.Millisecond),
+	})
+
+	const n = 32
+	req := RunRequest{Workload: "database", Insts: 1000, Warm: 100}
+	responses := make([]RunResponse, n)
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/run", req)
+			statuses[i] = resp.StatusCode
+			if resp.StatusCode == http.StatusOK {
+				responses[i] = decodeRun(t, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("engine executed %d times for %d identical concurrent requests, want exactly 1", got, n)
+	}
+	leaders, coalesced, cached := 0, 0, 0
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, statuses[i])
+		}
+		r := responses[i]
+		if r.Digest != responses[0].Digest {
+			t.Errorf("request %d: digest %s differs from %s", i, r.Digest, responses[0].Digest)
+		}
+		if r.Result != responses[0].Result {
+			t.Errorf("request %d: result %+v differs from %+v", i, r.Result, responses[0].Result)
+		}
+		switch {
+		case r.Coalesced:
+			coalesced++
+		case r.Cached:
+			cached++
+		default:
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("leaders = %d (coalesced %d, cached %d), want exactly 1", leaders, coalesced, cached)
+	}
+	if coalesced+cached != n-1 {
+		t.Errorf("coalesced %d + cached %d != %d", coalesced, cached, n-1)
+	}
+}
+
+func TestCacheHitSecondRequest(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestServer(t, Config{Runner: countingRunner(&execs, 0)})
+
+	req := RunRequest{Workload: "tpcw", Insts: 1000, Warm: 0}
+	_, body := postJSON(t, ts.URL+"/v1/run", req)
+	first := decodeRun(t, body)
+	if first.Cached || first.Coalesced {
+		t.Fatalf("first request should execute: %+v", first)
+	}
+	_, body = postJSON(t, ts.URL+"/v1/run", req)
+	second := decodeRun(t, body)
+	if !second.Cached {
+		t.Fatalf("second identical request should be cached: %+v", second)
+	}
+	if execs.Load() != 1 {
+		t.Errorf("executions = %d, want 1", execs.Load())
+	}
+
+	// A single changed knob must miss the cache.
+	sq := 64
+	req.Config = &ConfigPatch{StoreQueue: &sq}
+	_, body = postJSON(t, ts.URL+"/v1/run", req)
+	third := decodeRun(t, body)
+	if third.Cached || third.Digest == second.Digest {
+		t.Fatalf("changed config must not share digest/cache: %+v", third)
+	}
+	if execs.Load() != 2 {
+		t.Errorf("executions = %d, want 2", execs.Load())
+	}
+}
+
+func TestNoCacheAlwaysExecutes(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestServer(t, Config{Runner: countingRunner(&execs, 0)})
+	req := RunRequest{Workload: "specjbb", Insts: 1000, NoCache: true}
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/run", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		rr := decodeRun(t, body)
+		if rr.Cached || rr.Coalesced {
+			t.Fatalf("nocache response marked cached/coalesced: %+v", rr)
+		}
+	}
+	if execs.Load() != 3 {
+		t.Errorf("executions = %d, want 3", execs.Load())
+	}
+}
+
+func TestSweepDedupAndAggregates(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestServer(t, Config{Workers: 2, Runner: countingRunner(&execs, 20*time.Millisecond)})
+
+	// 12 points but only 3 distinct configs.
+	var sweep SweepRequest
+	for i := 0; i < 12; i++ {
+		sb := 8 << (i % 3)
+		sweep.Points = append(sweep.Points, RunRequest{
+			Workload: "database", Insts: 1000,
+			Config: &ConfigPatch{StoreBuffer: &sb},
+		})
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", sweep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Points) != 12 {
+		t.Fatalf("points = %d", len(sr.Points))
+	}
+	if got := execs.Load(); got != 3 {
+		t.Errorf("executions = %d, want 3 (9 duplicates coalesced/cached)", got)
+	}
+	if sr.Cached+sr.Coalesced != 9 {
+		t.Errorf("cached %d + coalesced %d, want 9 total", sr.Cached, sr.Coalesced)
+	}
+	digests := map[string]bool{}
+	for _, p := range sr.Points {
+		digests[p.Digest] = true
+	}
+	if len(digests) != 3 {
+		t.Errorf("distinct digests = %d, want 3", len(digests))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runner: countingRunner(new(atomic.Int64), 0)})
+	cases := []struct {
+		name string
+		url  string
+		body interface{}
+	}{
+		{"unknown workload", "/v1/run", RunRequest{Workload: "nope", Insts: 1000}},
+		{"missing workload", "/v1/run", RunRequest{Insts: 1000}},
+		{"bad model", "/v1/run", RunRequest{Workload: "tpcw", Config: &ConfigPatch{Model: strptr("zz")}}},
+		{"bad prefetch", "/v1/run", RunRequest{Workload: "tpcw", Config: &ConfigPatch{StorePrefetch: intptr(9)}}},
+		{"bad hws", "/v1/run", RunRequest{Workload: "tpcw", Config: &ConfigPatch{HWS: intptr(7)}}},
+		{"invalid config", "/v1/run", RunRequest{Workload: "tpcw", Config: &ConfigPatch{ROB: intptr(-1)}}},
+		{"over budget", "/v1/run", RunRequest{Workload: "tpcw", Insts: 1 << 60}},
+		{"empty sweep", "/v1/sweep", SweepRequest{}},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+c.url, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", c.name, resp.StatusCode, body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body %q", c.name, body)
+		}
+	}
+}
+
+func strptr(s string) *string { return &s }
+func intptr(i int) *int       { return &i }
+
+func TestRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runner: countingRunner(new(atomic.Int64), 5*time.Second)})
+	req := RunRequest{Workload: "specweb", Insts: 1000, NoCache: true, TimeoutMS: 30}
+	resp, _ := postJSON(t, ts.URL+"/v1/run", req)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestAbandonedCallCancelsSimulation: when every waiter disconnects,
+// the in-flight simulation's context must be cancelled.
+func TestAbandonedCallCancelsSimulation(t *testing.T) {
+	sawCancel := make(chan struct{})
+	runner := func(ctx context.Context, spec sim.Spec) (*epoch.Stats, error) {
+		<-ctx.Done()
+		close(sawCancel)
+		return nil, ctx.Err()
+	}
+	s := New(Config{Runner: runner, Logger: quietLogger()})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.servePoint(ctx, RunRequest{Workload: "database", Insts: 1000})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call enter the flight group
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("abandoned request should return its context error")
+	}
+	select {
+	case <-sawCancel:
+	case <-time.After(2 * time.Second):
+		t.Fatal("simulation context was never cancelled after all waiters left")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3, Runner: countingRunner(new(atomic.Int64), 0)})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hb healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Status != "ok" || hb.Workers != 3 {
+		t.Errorf("health = %+v", hb)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("missing X-Request-Id header")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestServer(t, Config{Runner: countingRunner(&execs, 0)})
+	req := RunRequest{Workload: "database", Insts: 1000}
+	postJSON(t, ts.URL+"/v1/run", req)
+	postJSON(t, ts.URL+"/v1/run", req) // cache hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		`mlpsimd_requests_total{class="2xx",endpoint="run"} 2`,
+		"mlpsimd_cache_hits_total 1",
+		"mlpsimd_cache_misses_total 1",
+		"mlpsimd_sims_executed_total 1",
+		"mlpsimd_coalesced_requests_total 0",
+		"mlpsimd_cache_entries 1",
+		"mlpsimd_sims_inflight 0",
+		"mlpsimd_queue_depth 0",
+		"# TYPE mlpsimd_request_seconds histogram",
+		`mlpsimd_request_seconds_bucket{endpoint="run",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\n---\n%s", want, text)
+		}
+	}
+}
+
+func TestWorkerPoolBoundsConcurrency(t *testing.T) {
+	var inflight, peak atomic.Int64
+	runner := func(ctx context.Context, spec sim.Spec) (*epoch.Stats, error) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		inflight.Add(-1)
+		return &epoch.Stats{Insts: spec.Insts}, nil
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, Runner: runner})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds: no coalescing, all must execute.
+			postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "tpcw", Insts: 1000, Seed: int64(i + 1)})
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrent simulations = %d, want <= 2", p)
+	}
+}
+
+func TestRealEngineSmallRun(t *testing.T) {
+	// One end-to-end run through the real epoch engine, small enough for
+	// test time but long enough to produce epochs.
+	_, ts := newTestServer(t, Config{})
+	req := RunRequest{Workload: "database", Insts: 100_000, Warm: 50_000}
+	resp, body := postJSON(t, ts.URL+"/v1/run", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	rr := decodeRun(t, body)
+	if rr.Result.Insts != 100_000 {
+		t.Errorf("insts = %d", rr.Result.Insts)
+	}
+	if rr.Result.EPI <= 0 || rr.Result.Epochs <= 0 {
+		t.Errorf("EPI=%v epochs=%d, want positive", rr.Result.EPI, rr.Result.Epochs)
+	}
+	if math.IsNaN(rr.Result.MLP) {
+		t.Error("MLP is NaN")
+	}
+	if !strings.Contains(rr.Result.ConfigName, "PC Sp1") {
+		t.Errorf("config name %q", rr.Result.ConfigName)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	r := func(n int64) *RunResult { return &RunResult{Insts: n} }
+	c.add("a", r(1))
+	c.add("b", r(2))
+	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.add("c", r(3)) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should survive (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c missing")
+	}
+	if c.len() != 2 || c.evicted() != 1 {
+		t.Errorf("len=%d evicted=%d", c.len(), c.evicted())
+	}
+	// Re-adding an existing key must refresh, not grow.
+	c.add("a", r(9))
+	if got, _ := c.get("a"); got.Insts != 9 {
+		t.Errorf("refresh lost: %+v", got)
+	}
+	if c.len() != 2 {
+		t.Errorf("len=%d after refresh", c.len())
+	}
+}
+
+func TestMetricsRegistryRender(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("x_total", "help x", "k", "a").Add(3)
+	m.Counter("x_total", "help x", "k", "b").Inc()
+	m.Gauge("g", "help g").Set(-5)
+	h := m.Histogram("h_seconds", "help h", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var b bytes.Buffer
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP x_total help x",
+		"# TYPE x_total counter",
+		`x_total{k="a"} 3`,
+		`x_total{k="b"} 1`,
+		"g -5",
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 2`,
+		`h_seconds_bucket{le="+Inf"} 3`,
+		"h_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q\n---\n%s", want, out)
+		}
+	}
+	// HELP/TYPE emitted once per name even with two label sets.
+	if n := strings.Count(out, "# TYPE x_total"); n != 1 {
+		t.Errorf("TYPE x_total emitted %d times", n)
+	}
+	// Duplicate registration returns the same instrument.
+	if m.Counter("x_total", "help x", "k", "a").Value() != 3 {
+		t.Error("re-registration lost state")
+	}
+}
+
+func TestEndpointClassification(t *testing.T) {
+	if classOf(200) != "2xx" || classOf(404) != "4xx" || classOf(500) != "5xx" {
+		t.Error("classOf broken")
+	}
+	for path, want := range map[string]string{
+		"/v1/run": "run", "/v1/sweep": "sweep", "/healthz": "healthz", "/metrics": "metrics",
+	} {
+		if got := endpointOf(path); got != want {
+			t.Errorf("endpointOf(%s) = %s", path, got)
+		}
+	}
+}
+
+func TestServerCloseAbortsInflight(t *testing.T) {
+	started := make(chan struct{})
+	runner := func(ctx context.Context, spec sim.Spec) (*epoch.Stats, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	s := New(Config{Runner: runner, Logger: quietLogger()})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.servePoint(context.Background(), RunRequest{Workload: "database", Insts: 1000})
+		errc <- err
+	}()
+	<-started
+	s.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("closed server should abort the simulation")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("simulation did not abort on Close")
+	}
+}
+
+func ExampleServer() {
+	runner := func(ctx context.Context, spec sim.Spec) (*epoch.Stats, error) {
+		return &epoch.Stats{Insts: spec.Insts, Epochs: 42}, nil
+	}
+	s := New(Config{Runner: runner, Logger: quietLogger()})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := strings.NewReader(`{"workload":"database","insts":1000,"warm":100}`)
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", body)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	var rr RunResponse
+	_ = json.NewDecoder(resp.Body).Decode(&rr)
+	fmt.Println(resp.StatusCode, rr.Result.Epochs, rr.Cached)
+	// Output: 200 42 false
+}

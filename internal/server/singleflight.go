@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent executions of the same digest: the
+// first request becomes the leader and spawns the simulation; every
+// later identical request joins the in-flight call instead of running
+// its own copy. N concurrent identical sweep points therefore cost one
+// engine execution.
+//
+// Cancellation is reference-counted: the simulation runs on a context
+// derived from the server's base context (not the leader's request, so
+// one client disconnect cannot kill everyone else's result), and is
+// cancelled only when every joined waiter has abandoned the call.
+type flightGroup struct {
+	base  context.Context // server lifetime; cancelling it aborts everything
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	res     *RunResult
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+func newFlightGroup(base context.Context) *flightGroup {
+	return &flightGroup{base: base, calls: make(map[string]*flightCall)}
+}
+
+// do executes exec for key exactly once among concurrent callers. The
+// returned shared flag is true for callers that joined an existing
+// in-flight execution. ctx is the caller's request context: if it ends
+// before the call completes, the caller unblocks with ctx's error, and
+// the simulation itself is cancelled once no waiters remain.
+func (g *flightGroup) do(ctx context.Context, key string, exec func(context.Context) (*RunResult, error)) (res *RunResult, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		res, err = g.wait(ctx, key, c)
+		return res, true, err
+	}
+	execCtx, cancel := context.WithCancel(g.base)
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		c.res, c.err = exec(execCtx)
+		g.mu.Lock()
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		close(c.done)
+		cancel()
+	}()
+
+	res, err = g.wait(ctx, key, c)
+	return res, false, err
+}
+
+// wait blocks until the call completes or the caller's context ends.
+func (g *flightGroup) wait(ctx context.Context, key string, c *flightCall) (*RunResult, error) {
+	select {
+	case <-c.done:
+		return c.res, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		orphaned := c.waiters == 0
+		if orphaned && g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		if orphaned {
+			c.cancel() // nobody wants the result: abort the simulation
+		}
+		return nil, ctx.Err()
+	}
+}

@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"storemlp/internal/consistency"
@@ -71,6 +72,12 @@ func BuildSource(w workload.Params, cfg uarch.Config, total int64) trace.Source 
 
 // Run executes the simulation and returns the epoch statistics.
 func Run(s Spec) (*epoch.Stats, error) {
+	return RunContext(context.Background(), s)
+}
+
+// RunContext is Run with cancellation: the epoch engine polls ctx and
+// abandons the simulation once it is done, returning ctx's error.
+func RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -92,5 +99,5 @@ func Run(s Spec) (*epoch.Stats, error) {
 		return nil, err
 	}
 	src := BuildSource(s.Workload, cfg, s.Warm+s.Insts)
-	return eng.Run(src)
+	return eng.RunContext(ctx, src)
 }

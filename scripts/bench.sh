@@ -1,0 +1,46 @@
+#!/bin/sh
+# Serving-layer benchmark: start a local mlpsimd, replay the repeated
+# Figure-2-style 64-point grid with mlpload, and write the measurements
+# (cold vs warm throughput, tail latencies, speedup) to BENCH_serve.json
+# in the repo root.
+#
+# Usage: scripts/bench.sh [extra mlpload flags]
+#   e.g. scripts/bench.sh -repeat 5 -concurrency 16
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+bench_cleanup() {
+    [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap bench_cleanup EXIT
+
+echo '>> building mlpsimd + mlpload'
+go build -o "$tmpdir/mlpsimd" ./cmd/mlpsimd
+go build -o "$tmpdir/mlpload" ./cmd/mlpload
+
+"$tmpdir/mlpsimd" -addr 127.0.0.1:0 >"$tmpdir/mlpsimd.out" 2>"$tmpdir/mlpsimd.log" &
+daemon_pid=$!
+addr=''
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/^mlpsimd listening on //p' "$tmpdir/mlpsimd.out")
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo 'mlpsimd died at startup'; cat "$tmpdir/mlpsimd.log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo 'mlpsimd never became ready'; exit 1; }
+echo ">> mlpsimd up at $addr"
+
+echo '>> driving the repeated 64-point grid (cold, then warm)'
+"$tmpdir/mlpload" -addr "http://$addr" -json BENCH_serve.json "$@"
+
+kill -INT "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=''
+
+echo '>> BENCH_serve.json'
+cat BENCH_serve.json

@@ -18,4 +18,34 @@ go run ./cmd/storemlpvet ./...
 echo '>> go test -race ./...'
 go test -race "$@" ./...
 
+echo '>> mlpsimd smoke test'
+tmpdir=$(mktemp -d)
+smoke_cleanup() {
+    [ -n "${smoke_pid:-}" ] && kill "$smoke_pid" 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap smoke_cleanup EXIT
+go build -o "$tmpdir/mlpsimd" ./cmd/mlpsimd
+go build -o "$tmpdir/mlpload" ./cmd/mlpload
+"$tmpdir/mlpsimd" -addr 127.0.0.1:0 -drain 10s >"$tmpdir/mlpsimd.out" 2>"$tmpdir/mlpsimd.log" &
+smoke_pid=$!
+addr=''
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/^mlpsimd listening on //p' "$tmpdir/mlpsimd.out")
+    [ -n "$addr" ] && break
+    kill -0 "$smoke_pid" 2>/dev/null || { echo 'mlpsimd died at startup'; cat "$tmpdir/mlpsimd.log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo 'mlpsimd never became ready'; exit 1; }
+# /healthz + real runs through the client (also exercises the cache path).
+"$tmpdir/mlpload" -addr "http://$addr" -workloads database -insts 20000 -warm 10000 \
+    -repeat 1 -concurrency 2 -mode warm
+kill -INT "$smoke_pid"
+wait "$smoke_pid" || { echo 'mlpsimd did not shut down cleanly'; cat "$tmpdir/mlpsimd.log"; exit 1; }
+smoke_pid=''
+grep -q 'mlpsimd stopped' "$tmpdir/mlpsimd.out" || { echo 'missing clean-shutdown marker'; exit 1; }
+echo 'smoke: OK'
+
 echo 'check: OK'

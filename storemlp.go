@@ -30,11 +30,13 @@
 package storemlp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"storemlp/internal/consistency"
 	"storemlp/internal/cyclesim"
+	"storemlp/internal/digest"
 	"storemlp/internal/epoch"
 	"storemlp/internal/experiments"
 	"storemlp/internal/onchip"
@@ -124,13 +126,39 @@ type RunSpec struct {
 // rewritten for WC and/or SLE as the configuration requires, then driven
 // through the epoch MLP engine.
 func Run(s RunSpec) (*Stats, error) {
-	return sim.Run(sim.Spec{
+	return RunContext(context.Background(), s)
+}
+
+// RunContext is Run with cancellation: the engine polls ctx every few
+// thousand instructions and abandons the simulation — returning ctx's
+// error — once the context is done. Long sweeps become interruptible
+// and service requests can carry deadlines.
+func RunContext(ctx context.Context, s RunSpec) (*Stats, error) {
+	return sim.RunContext(ctx, sim.Spec{
 		Workload:       s.Workload,
 		Uarch:          s.Config,
 		Insts:          s.Insts,
 		Warm:           s.Warm,
 		DisableTraffic: s.DisableTraffic,
 		SharedCore:     s.SharedCore,
+	})
+}
+
+// ConfigDigest returns a stable hex digest canonically identifying the
+// run: the workload calibration (including its seed), the full machine
+// configuration, and the instruction budget. Two RunSpecs digest
+// equally iff they describe the same simulation, independent of struct
+// field declaration order or map iteration order, so the digest is a
+// sound coalescing/cache key for the serving layer (any single-field
+// change yields a different digest).
+func ConfigDigest(s RunSpec) string {
+	return digest.Sum(map[string]interface{}{
+		"workload":       s.Workload,
+		"config":         s.Config,
+		"insts":          s.Insts,
+		"warm":           s.Warm,
+		"disableTraffic": s.DisableTraffic,
+		"sharedCore":     s.SharedCore,
 	})
 }
 
@@ -154,6 +182,11 @@ func WriteTrace(w io.Writer, wk Workload, cfg Config, n int64) (int64, error) {
 // engine. The trace is used as-is: no consistency rewriting is applied
 // (use cmd/lockdetect or WriteTrace for that).
 func RunTrace(r io.Reader, cfg Config, warm int64) (*Stats, error) {
+	return RunTraceContext(context.Background(), r, cfg, warm)
+}
+
+// RunTraceContext is RunTrace with cancellation.
+func RunTraceContext(ctx context.Context, r io.Reader, cfg Config, warm int64) (*Stats, error) {
 	tr, err := trace.NewReader(r)
 	if err != nil {
 		return nil, err
@@ -163,7 +196,7 @@ func RunTrace(r io.Reader, cfg Config, warm int64) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats, err := eng.Run(tr)
+	stats, err := eng.RunContext(ctx, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -191,13 +224,18 @@ type CycleStats = cyclesim.Stats
 // cycle-accurate simulator. Its Overlap() output is the §3.4 Overlap
 // term for translating EPI into overall CPI.
 func RunCycleLevel(s RunSpec) (*CycleStats, error) {
+	return RunCycleLevelContext(context.Background(), s)
+}
+
+// RunCycleLevelContext is RunCycleLevel with cancellation.
+func RunCycleLevelContext(ctx context.Context, s RunSpec) (*CycleStats, error) {
 	cfg := s.Config
 	cfg.WarmInsts = s.Warm
 	cs, err := cyclesim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return cs.Run(sim.BuildSource(s.Workload, cfg, s.Warm+s.Insts))
+	return cs.RunContext(ctx, sim.BuildSource(s.Workload, cfg, s.Warm+s.Insts))
 }
 
 // ExperimentConfig sizes the table/figure harness.

@@ -2,6 +2,8 @@ package storemlp
 
 import (
 	"bytes"
+	"context"
+	"reflect"
 	"testing"
 )
 
@@ -95,6 +97,125 @@ func TestWCTraceGeneration(t *testing.T) {
 	if bytes.Equal(pcBuf.Bytes(), wcBuf.Bytes()) {
 		t.Error("WC trace should differ from PC trace")
 	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, RunSpec{
+		Workload: Database(1), Config: DefaultConfig(), Insts: 1_000_000, Warm: 0,
+	})
+	if err == nil {
+		t.Fatal("cancelled run should error")
+	}
+	if ctx.Err() == nil || err.Error() != ctx.Err().Error() {
+		t.Errorf("err = %v, want %v", err, ctx.Err())
+	}
+}
+
+func baseSpec() RunSpec {
+	return RunSpec{Workload: Database(1), Config: DefaultConfig(), Insts: 1000, Warm: 100}
+}
+
+func TestConfigDigestStable(t *testing.T) {
+	a, b := ConfigDigest(baseSpec()), ConfigDigest(baseSpec())
+	if a != b {
+		t.Fatalf("identical specs digest differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("digest %q is not sha256 hex", a)
+	}
+	for i := 0; i < 50; i++ { // map iteration order must not leak in
+		if ConfigDigest(baseSpec()) != a {
+			t.Fatal("digest unstable across calls")
+		}
+	}
+}
+
+// perturb returns a changed copy of the scalar leaf v.
+func perturb(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 1.5)
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	default:
+		return false
+	}
+	return true
+}
+
+// forEachLeaf visits every settable scalar leaf under v, recursing into
+// nested structs, and calls fn with the dotted path.
+func forEachLeaf(path string, v reflect.Value, fn func(path string, leaf reflect.Value)) {
+	if v.Kind() == reflect.Struct {
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue
+			}
+			forEachLeaf(path+"."+t.Field(i).Name, v.Field(i), fn)
+		}
+		return
+	}
+	fn(path, v)
+}
+
+// TestConfigDigestSensitivity is the cache-correctness keystone: every
+// single scalar field of the RunSpec — workload calibration, machine
+// configuration (including nested cache/branch/SMAC geometry), and the
+// run scalars — must change the digest when changed. A field the digest
+// ignores is a field on which the serving cache would silently return a
+// wrong result.
+func TestConfigDigestSensitivity(t *testing.T) {
+	base := ConfigDigest(baseSpec())
+	seen := map[string]string{"": base}
+	count := 0
+	spec := baseSpec()
+	forEachLeaf("spec", reflect.ValueOf(&spec).Elem(), func(path string, _ reflect.Value) {
+		fresh := baseSpec()
+		// Re-resolve the same path on a fresh copy and perturb it.
+		leaf := reflect.ValueOf(&fresh).Elem()
+		for _, name := range splitPath(path)[1:] {
+			leaf = leaf.FieldByName(name)
+		}
+		if !perturb(leaf) {
+			t.Fatalf("%s: unperturbable kind %s", path, leaf.Kind())
+		}
+		d := ConfigDigest(fresh)
+		if prev, dup := seen[d]; dup {
+			t.Errorf("%s: perturbation did not change digest (collides with %q)", path, prev)
+		}
+		seen[d] = path
+		count++
+	})
+	if count < 40 {
+		t.Fatalf("visited only %d leaves; RunSpec traversal is broken", count)
+	}
+}
+
+func splitPath(p string) []string {
+	var parts []string
+	for len(p) > 0 {
+		i := 0
+		for i < len(p) && p[i] != '.' {
+			i++
+		}
+		if p[:i] != "" {
+			parts = append(parts, p[:i])
+		}
+		if i == len(p) {
+			break
+		}
+		p = p[i+1:]
+	}
+	return parts
 }
 
 func TestOverallCPI(t *testing.T) {
