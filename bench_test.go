@@ -9,7 +9,10 @@ package storemlp
 import (
 	"testing"
 
+	"storemlp/internal/epoch"
 	"storemlp/internal/experiments"
+	"storemlp/internal/sim"
+	"storemlp/internal/trace"
 	"storemlp/internal/uarch"
 	"storemlp/internal/workload"
 )
@@ -224,6 +227,32 @@ func BenchmarkEngine(b *testing.B) {
 	b.SetBytes(n)
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(RunSpec{Workload: w, Config: DefaultConfig(), Insts: n, Warm: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineReplay measures the steady-state serving path: the
+// trace is pre-materialized and one engine is recycled through
+// Reconfigure, isolating the simulator core from trace generation and
+// from construction-time allocation. The gap between this and
+// BenchmarkEngine is what the trace generator and per-run setup cost.
+func BenchmarkEngineReplay(b *testing.B) {
+	const n = 500_000
+	cfg := DefaultConfig()
+	sl := trace.Collect(sim.BuildSource(workload.Database(1), cfg, n))
+	eng, err := epoch.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Reconfigure(cfg); err != nil {
+			b.Fatal(err)
+		}
+		sl.Reset()
+		if _, err := eng.Run(sl); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -32,6 +32,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +66,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		drain   = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		logFmt  = fs.String("log", "text", "log format: text or json")
 		verbose = fs.Bool("v", false, "debug logging (includes healthz/metrics probes)")
+		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling; leave off in production)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,8 +99,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	h := svc.Handler()
+	if *pprofOn {
+		// The service handler owns "/"; graft the pprof endpoints onto a
+		// wrapping mux so nothing is exposed unless the flag is set.
+		mux := http.NewServeMux()
+		mux.Handle("/", h)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		h = mux
+	}
 	httpSrv := &http.Server{
-		Handler:           svc.Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -153,6 +153,36 @@ func TestDaemonGracefulShutdownUnderLoad(t *testing.T) {
 	wg.Wait()
 }
 
+// TestDaemonPprofFlag: the profiling endpoints exist only when -pprof
+// is set.
+func TestDaemonPprofFlag(t *testing.T) {
+	base, shutdown := startDaemon(t)
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: /debug/pprof/cmdline returned %d, want 404", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	base, shutdown = startDaemon(t, "-pprof")
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: /debug/pprof/cmdline returned %d, want 200", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDaemonFlagValidation(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(context.Background(), []string{"-log", "xml"}, &out); err == nil {

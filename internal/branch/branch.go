@@ -180,3 +180,23 @@ func b2u(b bool) uint64 {
 	}
 	return 0
 }
+
+// Reset returns the predictor to its as-constructed state — empty
+// tables, cleared history and statistics — without reallocating.
+func (p *Predictor) Reset() {
+	for i := range p.counters {
+		p.counters[i] = 0
+	}
+	for i := range p.btbTags {
+		p.btbTags[i] = 0
+	}
+	for i := range p.btbTargets {
+		p.btbTargets[i] = 0
+	}
+	for i := range p.ras {
+		p.ras[i] = 0
+	}
+	p.history = 0
+	p.rasTop = 0
+	p.Stats = Stats{}
+}

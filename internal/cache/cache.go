@@ -71,10 +71,14 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// way packs one cache way into 16 bytes: ent holds tag<<2|state (state
+// in the low two bits; a zero state marks the way empty, so tag match
+// and validity test are a single compare), lru the use clock. A 4-way
+// set is then exactly one 64-byte cache line. Tags must fit in 62 bits,
+// which every address the simulator generates satisfies.
 type way struct {
-	tag   uint64
-	state MESI
-	lru   uint64 // higher = more recently used
+	ent uint64
+	lru uint64 // higher = more recently used
 }
 
 // Cache is a set-associative cache with true-LRU replacement.
@@ -128,14 +132,25 @@ func (c *Cache) set(addr uint64) []way {
 	return c.ways[idx*uint64(c.assoc) : (idx+1)*uint64(c.assoc)]
 }
 
+// matchState returns the way's state if its packed entry matches the
+// wanted tag<<2 and the way is valid, else Invalid. ent^want clears the
+// tag bits exactly when the tags agree, leaving just the state, so the
+// whole test is one xor and one range compare: the result is in [1,3].
+func matchState(ent, want uint64) uint64 {
+	if x := ent ^ want; x-1 < 3 {
+		return x
+	}
+	return 0
+}
+
 // Probe reports the state of the line containing addr without updating
 // LRU or statistics.
 func (c *Cache) Probe(addr uint64) MESI {
-	tag := addr >> c.lineShift
+	want := addr >> c.lineShift << 2
 	set := c.set(addr)
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			return set[i].state
+		if x := matchState(set[i].ent, want); x != 0 {
+			return MESI(x)
 		}
 	}
 	return Invalid
@@ -146,12 +161,41 @@ func (c *Cache) Probe(addr uint64) MESI {
 func (c *Cache) Lookup(addr uint64) MESI {
 	c.Stats.Accesses++
 	tag := addr >> c.lineShift
+	want := tag << 2
+	if c.assoc == 4 {
+		// The paper's entire hierarchy is 4-way; unrolling lets the four
+		// tag compares issue without loop-carried control flow.
+		idx := tag & c.setMask
+		set := c.ways[idx*4 : idx*4+4 : idx*4+4]
+		if x := set[0].ent ^ want; x-1 < 3 {
+			c.clock++
+			set[0].lru = c.clock
+			return MESI(x)
+		}
+		if x := set[1].ent ^ want; x-1 < 3 {
+			c.clock++
+			set[1].lru = c.clock
+			return MESI(x)
+		}
+		if x := set[2].ent ^ want; x-1 < 3 {
+			c.clock++
+			set[2].lru = c.clock
+			return MESI(x)
+		}
+		if x := set[3].ent ^ want; x-1 < 3 {
+			c.clock++
+			set[3].lru = c.clock
+			return MESI(x)
+		}
+		c.Stats.Misses++
+		return Invalid
+	}
 	set := c.set(addr)
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
+		if x := matchState(set[i].ent, want); x != 0 {
 			c.clock++
 			set[i].lru = c.clock
-			return set[i].state
+			return MESI(x)
 		}
 	}
 	c.Stats.Misses++
@@ -164,30 +208,33 @@ func (c *Cache) Lookup(addr uint64) MESI {
 // that is already present just updates its state and LRU position.
 func (c *Cache) Insert(addr uint64, state MESI) (evictedAddr uint64, evictedState MESI, ok bool) {
 	tag := addr >> c.lineShift
+	want := tag << 2
 	set := c.set(addr)
 	c.clock++
 	victim := 0
+	haveInvalid := false // once an invalid way is picked it stays picked
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			set[i].state = state
+		e := set[i].ent
+		if matchState(e, want) != 0 {
+			set[i].ent = want | uint64(state)
 			set[i].lru = c.clock
 			return 0, Invalid, false
 		}
-		if set[i].state == Invalid {
+		if e&3 == 0 {
 			victim = i
-		} else if set[victim].state != Invalid && set[i].lru < set[victim].lru {
+			haveInvalid = true
+		} else if !haveInvalid && set[i].lru < set[victim].lru {
 			victim = i
 		}
 	}
 	v := &set[victim]
-	if v.state != Invalid {
+	if e := v.ent; e&3 != 0 {
 		c.Stats.Evictions++
-		evictedAddr = v.tag << c.lineShift
-		evictedState = v.state
+		evictedAddr = e >> 2 << c.lineShift
+		evictedState = MESI(e & 3)
 		ok = true
 	}
-	v.tag = tag
-	v.state = state
+	v.ent = want | uint64(state)
 	v.lru = c.clock
 	return evictedAddr, evictedState, ok
 }
@@ -198,8 +245,8 @@ func (c *Cache) SetState(addr uint64, state MESI) bool {
 	tag := addr >> c.lineShift
 	set := c.set(addr)
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			set[i].state = state
+		if matchState(set[i].ent, tag<<2) != 0 {
+			set[i].ent = tag<<2 | uint64(state)
 			return true
 		}
 	}
@@ -212,11 +259,10 @@ func (c *Cache) Invalidate(addr uint64) MESI {
 	tag := addr >> c.lineShift
 	set := c.set(addr)
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			prev := set[i].state
-			set[i].state = Invalid
+		if x := matchState(set[i].ent, tag<<2); x != 0 {
+			set[i].ent = 0
 			c.Stats.Invalidates++
-			return prev
+			return MESI(x)
 		}
 	}
 	return Invalid
@@ -226,9 +272,19 @@ func (c *Cache) Invalidate(addr uint64) MESI {
 func (c *Cache) Occupancy() int {
 	n := 0
 	for i := range c.ways {
-		if c.ways[i].state != Invalid {
+		if c.ways[i].ent&3 != 0 {
 			n++
 		}
 	}
 	return n
+}
+
+// Reset empties the cache and zeroes its statistics, returning it to
+// its as-constructed state without reallocating.
+func (c *Cache) Reset() {
+	for i := range c.ways {
+		c.ways[i] = way{}
+	}
+	c.clock = 0
+	c.Stats = Stats{}
 }

@@ -11,7 +11,26 @@ type Hierarchy struct {
 	L2  *Cache
 	TLB *Cache // tracks pages; misses are counted but are not epoch events
 
-	pageBytes int
+	pageBytes  int
+	fetchShift uint // copy of L1I.lineShift, keeps Fetch's fast path inlinable
+
+	// Consecutive-duplicate fast paths. Commercial instruction streams
+	// touch the same L1I line ~16 times in a row and burst stores walk a
+	// line in sub-line steps, so the hierarchy remembers the last line
+	// (or page) each structure served and skips the full lookup when the
+	// next access repeats it. Collapsing consecutive duplicate touches
+	// preserves every observable: the line stays most-recently-used in
+	// its set either way, so victim selection, hit/miss outcomes and all
+	// HierarchyStats counters are identical — only the redundant LRU
+	// bump and the structure's internal access count are elided.
+	// Sentinel ^0 means "no valid last access".
+	lastFetchLine uint64 // line tag last fetched, resident in L1I
+	lastPage      uint64 // page tag last touched, resident in TLB
+	lastStoreLine uint64 // line tag last stored, Modified in L2, no
+	// intervening L1D or L2 access (loads touch the L1D; L1I-missing
+	// fetches, prefetches and snoops touch the L2)
+	lastStoreL1 bool // L1D presence of lastStoreLine at that store
+	l2Shared    bool // another hierarchy shares the L2: no store fast path
 
 	// OnL2Evict, if non-nil, is called for every valid line evicted from
 	// the L2 with its address and pre-eviction state. The Store Miss
@@ -75,9 +94,11 @@ func DefaultConfig() Config {
 	}
 }
 
+const noLast = ^uint64(0)
+
 // NewHierarchy builds the cache hierarchy.
 func NewHierarchy(cfg Config) *Hierarchy {
-	return &Hierarchy{
+	h := &Hierarchy{
 		L1I: New(cfg.L1I),
 		L1D: New(cfg.L1D),
 		L2:  New(cfg.L2),
@@ -88,13 +109,18 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		}),
 		pageBytes: cfg.PageBytes,
 	}
+	h.fetchShift = h.L1I.lineShift
+	h.clearFastPaths()
+	return h
 }
 
 // NewSharedHierarchy builds a second core's view of the hierarchy:
 // private L1s and TLB, sharing the given L2 — the paper's CMP
-// configuration has two single-threaded cores per shared L2.
+// configuration has two single-threaded cores per shared L2. Both views
+// lose the store fast path: either core's L2 accesses would invalidate
+// the other's cached store outcome.
 func NewSharedHierarchy(cfg Config, l2 *Cache) *Hierarchy {
-	return &Hierarchy{
+	h := &Hierarchy{
 		L1I: New(cfg.L1I),
 		L1D: New(cfg.L1D),
 		L2:  l2,
@@ -104,7 +130,38 @@ func NewSharedHierarchy(cfg Config, l2 *Cache) *Hierarchy {
 			LineBytes: cfg.PageBytes,
 		}),
 		pageBytes: cfg.PageBytes,
+		l2Shared:  true,
 	}
+	h.fetchShift = h.L1I.lineShift
+	h.clearFastPaths()
+	return h
+}
+
+// Reset empties every level and zeroes the statistics, returning the
+// hierarchy to its as-constructed state without reallocating. The store
+// fast path is re-enabled; re-attach any shared view (MarkL2Shared)
+// after resetting.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.TLB.Reset()
+	h.l2Shared = false
+	h.clearFastPaths()
+	h.Stats = HierarchyStats{}
+}
+
+// MarkL2Shared disables the store fast path on a hierarchy whose L2 has
+// been attached to a second core's view.
+func (h *Hierarchy) MarkL2Shared() {
+	h.l2Shared = true
+	h.lastStoreLine = noLast
+}
+
+func (h *Hierarchy) clearFastPaths() {
+	h.lastFetchLine = noLast
+	h.lastPage = noLast
+	h.lastStoreLine = noLast
 }
 
 // Result describes one access's interaction with the hierarchy.
@@ -121,26 +178,55 @@ func (h *Hierarchy) insertL2(addr uint64, state MESI) {
 	}
 }
 
+// touchTLB stays small enough to inline into Load and Store so the
+// same-page repeat costs a shift and a compare, no call.
 func (h *Hierarchy) touchTLB(addr uint64) {
+	if addr>>h.TLB.lineShift == h.lastPage {
+		// The previous TLB touch was this page, so it is resident and
+		// most-recently-used; skip the redundant lookup.
+		return
+	}
+	h.touchTLBSlow(addr)
+}
+
+func (h *Hierarchy) touchTLBSlow(addr uint64) {
 	if h.TLB.Lookup(addr) == Invalid {
 		h.Stats.TLBMisses++
 		h.TLB.Insert(addr, Exclusive)
 	}
+	h.lastPage = addr >> h.TLB.lineShift
 }
 
-// Fetch performs an instruction fetch for the line containing pc.
+// Fetch performs an instruction fetch for the line containing pc. The
+// wrapper stays small enough to inline into the engine's step so the
+// dominant case — sequential fetch within the line fetched last — costs
+// a shift and a compare, no call.
 func (h *Hierarchy) Fetch(pc uint64) Result {
 	h.Stats.Fetches++
-	if h.L1I.Lookup(pc) != Invalid {
+	if pc>>h.fetchShift == h.lastFetchLine {
+		// Resident and most-recently-used in the L1I, nothing below is
+		// touched.
 		return Result{L1Hit: true, L2Hit: true}
 	}
+	return h.fetchSlow(pc)
+}
+
+func (h *Hierarchy) fetchSlow(pc uint64) Result {
+	line := pc >> h.L1I.lineShift
+	if h.L1I.Lookup(pc) != Invalid {
+		h.lastFetchLine = line
+		return Result{L1Hit: true, L2Hit: true}
+	}
+	h.lastStoreLine = noLast // the fill path touches the L2
 	if h.L2.Lookup(pc) != Invalid {
 		h.L1I.Insert(pc, Shared)
+		h.lastFetchLine = line
 		return Result{L2Hit: true}
 	}
 	h.Stats.FetchOffChip++
 	h.insertL2(pc, Shared)
 	h.L1I.Insert(pc, Shared)
+	h.lastFetchLine = line
 	return Result{OffChip: true}
 }
 
@@ -149,6 +235,7 @@ func (h *Hierarchy) Fetch(pc uint64) Result {
 func (h *Hierarchy) Load(addr uint64, shared bool) Result {
 	h.Stats.Loads++
 	h.touchTLB(addr)
+	h.lastStoreLine = noLast // loads touch the L1D (and on a miss the L2)
 	if h.L1D.Lookup(addr) != Invalid {
 		return Result{L1Hit: true, L2Hit: true}
 	}
@@ -174,30 +261,44 @@ func (h *Hierarchy) Store(addr uint64, shared bool) Result {
 	h.Stats.Stores++
 	h.Stats.L2StoreTraffic++
 	h.touchTLB(addr)
+	line := addr >> h.L2.lineShift
+	if line == h.lastStoreLine {
+		// Repeat of the previous store's line with no intervening L1D
+		// or L2 access: the line is Modified and most-recently-used in
+		// the L2, and the L1D's view of it is unchanged.
+		return Result{L1Hit: h.lastStoreL1, L2Hit: true}
+	}
 	l1 := h.L1D.Lookup(addr) != Invalid // write-through: update if present
+	res := Result{L1Hit: l1, L2Hit: true}
 	switch h.L2.Lookup(addr) {
 	case Modified:
-		return Result{L1Hit: l1, L2Hit: true}
 	case Exclusive:
 		h.L2.SetState(addr, Modified)
-		return Result{L1Hit: l1, L2Hit: true}
 	case Shared:
 		h.Stats.StoreOffChip++
 		h.Stats.StoreUpgrades++
 		h.L2.SetState(addr, Modified)
-		return Result{L1Hit: l1, L2Hit: true, OffChip: true, Upgrade: true}
+		res.OffChip, res.Upgrade = true, true
 	default:
 		h.Stats.StoreOffChip++
 		h.insertL2(addr, Modified)
 		_ = shared // ownership is acquired regardless; sharing returns via snoops
-		return Result{L1Hit: l1, OffChip: true}
+		res.L2Hit, res.OffChip = false, true
 	}
+	// Every store leaves the line Modified, so a consecutive repeat is a
+	// pure L2 hit — unless the L2 is shared, where the co-runner's
+	// accesses would invalidate the cached outcome unseen.
+	if !h.l2Shared {
+		h.lastStoreLine, h.lastStoreL1 = line, l1
+	}
+	return res
 }
 
 // PrefetchLoad installs the line containing addr as a load would,
 // counting it as L2 prefetch traffic. Used by Hardware Scout for missing
 // loads and missing instructions.
 func (h *Hierarchy) PrefetchLoad(addr uint64, shared bool) {
+	h.lastStoreLine = noLast
 	h.Stats.L2PrefetchReqs++
 	if h.L2.Probe(addr) != Invalid {
 		return
@@ -214,6 +315,7 @@ func (h *Hierarchy) PrefetchLoad(addr uint64, shared bool) {
 // store prefetching (at retire or at execute) and by scout-mode store
 // prefetches.
 func (h *Hierarchy) PrefetchStore(addr uint64) {
+	h.lastStoreLine = noLast
 	h.Stats.L2PrefetchReqs++
 	if h.L2.Probe(addr).Owned() {
 		h.L2.SetState(addr, Modified)
@@ -229,6 +331,7 @@ func (h *Hierarchy) PrefetchStore(addr uint64) {
 // SnoopInvalidate applies a remote chip's request-to-own: the local line
 // is invalidated. It reports the state the line held.
 func (h *Hierarchy) SnoopInvalidate(addr uint64) MESI {
+	h.clearFastPaths() // L1I residency and L2 store state may change
 	h.L1D.Invalidate(addr)
 	h.L1I.Invalidate(addr)
 	return h.L2.Invalidate(addr)
@@ -237,6 +340,7 @@ func (h *Hierarchy) SnoopInvalidate(addr uint64) MESI {
 // SnoopShared applies a remote chip's read request: an owned local line
 // is demoted to Shared (so the next local store needs an upgrade).
 func (h *Hierarchy) SnoopShared(addr uint64) MESI {
+	h.lastStoreLine = noLast // the demotion may hit the cached store line
 	prev := h.L2.Probe(addr)
 	if prev.Owned() {
 		h.L2.SetState(addr, Shared)

@@ -102,9 +102,11 @@ func (s TrafficSpec) Validate() error {
 type Traffic struct {
 	spec    TrafficSpec
 	nodes   int
+	seed    int64
 	rng     *rand.Rand
 	handler Handler
 	acc     float64
+	perInst float64 // events accrued per instruction; 0 disables
 	lineMsk uint64
 
 	// Delivered counts snoops emitted so far.
@@ -121,17 +123,30 @@ func NewTraffic(spec TrafficSpec, nodes int, seed int64, handler Handler) (*Traf
 	if nodes < 1 {
 		return nil, fmt.Errorf("coherence: node count %d < 1", nodes)
 	}
-	return &Traffic{
+	t := &Traffic{
 		spec:    spec,
 		nodes:   nodes,
+		seed:    seed,
 		rng:     rand.New(rand.NewSource(seed)),
 		handler: handler,
 		lineMsk: ^uint64(spec.LineBytes - 1),
-	}, nil
+	}
+	if nodes > 1 && spec.EventsPerKiloInst > 0 {
+		t.perInst = spec.EventsPerKiloInst * float64(nodes-1) / 1000
+	}
+	return t, nil
 }
 
 // SetHandler installs the snoop consumer.
 func (t *Traffic) SetHandler(h Handler) { t.handler = h }
+
+// Reset rewinds the traffic source to its as-constructed state: the
+// same seed replays the identical snoop stream.
+func (t *Traffic) Reset() {
+	t.rng = rand.New(rand.NewSource(t.seed))
+	t.acc = 0
+	t.Delivered = 0
+}
 
 // Nodes returns the total node count.
 func (t *Traffic) Nodes() int { return t.nodes }
@@ -139,10 +154,16 @@ func (t *Traffic) Nodes() int { return t.nodes }
 // Advance accounts for n locally executed instructions and delivers any
 // remote snoops that fall due.
 func (t *Traffic) Advance(n int64) {
-	if t == nil || t.nodes <= 1 || t.spec.EventsPerKiloInst <= 0 {
+	if t == nil || t.perInst <= 0 {
 		return
 	}
-	t.acc += float64(n) * t.spec.EventsPerKiloInst * float64(t.nodes-1) / 1000
+	t.acc += float64(n) * t.perInst
+	if t.acc >= 1 {
+		t.drain()
+	}
+}
+
+func (t *Traffic) drain() {
 	for t.acc >= 1 {
 		t.acc--
 		t.emit()

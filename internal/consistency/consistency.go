@@ -96,45 +96,114 @@ func DetectLocks(src trace.Source) trace.Source {
 //	membar                -> lwsync
 //
 // Instructions must already carry lock flags (from the workload
-// generator or DetectLocks).
+// generator or DetectLocks). The returned source is batch-aware.
 func RewriteWC(src trace.Source) trace.Source {
-	var pending []isa.Inst
-	return trace.Func(func() (isa.Inst, bool) {
-		if len(pending) > 0 {
-			out := pending[0]
-			pending = pending[1:]
-			return out, true
+	return &wcRewriter{src: src}
+}
+
+// wcRewriter expands one input instruction into at most three outputs.
+// Outputs that do not fit the caller's block are parked in pending and
+// drained first on the next call, so Next and ReadBatch interleave
+// without reordering.
+type wcRewriter struct {
+	src     trace.Source
+	pending [3]isa.Inst
+	pHead   int
+	pLen    int
+	scratch []isa.Inst
+}
+
+// rewrite expands in into out and returns the number of instructions
+// produced (1..3).
+func (r *wcRewriter) rewrite(in isa.Inst, out *[3]isa.Inst) int {
+	switch {
+	case in.Op == isa.OpCASA && in.Flags.Has(isa.FlagLockAcquire):
+		ll := in
+		ll.Op = isa.OpLoadLocked
+		sc := in
+		sc.Op = isa.OpStoreCond
+		sc.PC += 4
+		sc.Dst = 0
+		out[0] = ll
+		out[1] = sc
+		out[2] = isa.Inst{Op: isa.OpISync, PC: in.PC + 8, Flags: in.Flags}
+		return 3
+	case in.Op == isa.OpStore && in.Flags.Has(isa.FlagLockRelease):
+		// The barrier carries the release flag too so that SLE can
+		// recognize and elide the whole release idiom.
+		out[0] = isa.Inst{Op: isa.OpLWSync, PC: in.PC, Flags: in.Flags}
+		rel := in
+		rel.PC += 4
+		out[1] = rel
+		return 2
+	case in.Op == isa.OpMembar:
+		in.Op = isa.OpLWSync
+		out[0] = in
+		return 1
+	default:
+		out[0] = in
+		return 1
+	}
+}
+
+// Next implements trace.Source.
+func (r *wcRewriter) Next() (isa.Inst, bool) {
+	if r.pHead < r.pLen {
+		out := r.pending[r.pHead]
+		r.pHead++
+		return out, true
+	}
+	in, ok := r.src.Next()
+	if !ok {
+		return isa.Inst{}, false
+	}
+	var out [3]isa.Inst
+	n := r.rewrite(in, &out)
+	copy(r.pending[:], out[1:n])
+	r.pHead, r.pLen = 0, n-1
+	return out[0], true
+}
+
+// ReadBatch implements trace.BatchSource. Input blocks are sized to a
+// third of the remaining room so the worst-case 3x expansion fits; any
+// spill from the final input lands in pending for the next call.
+func (r *wcRewriter) ReadBatch(dst []isa.Inst) int {
+	n := 0
+	for n < len(dst) && r.pHead < r.pLen {
+		dst[n] = r.pending[r.pHead]
+		r.pHead++
+		n++
+	}
+	if r.pHead == r.pLen {
+		r.pHead, r.pLen = 0, 0
+	}
+	for n < len(dst) {
+		want := (len(dst) - n) / 3
+		if want < 1 {
+			want = 1
 		}
-		in, ok := src.Next()
-		if !ok {
-			return isa.Inst{}, false
+		if want > cap(r.scratch) {
+			r.scratch = make([]isa.Inst, want)
 		}
-		switch {
-		case in.Op == isa.OpCASA && in.Flags.Has(isa.FlagLockAcquire):
-			ll := in
-			ll.Op = isa.OpLoadLocked
-			sc := in
-			sc.Op = isa.OpStoreCond
-			sc.PC += 4
-			sc.Dst = 0
-			sync := isa.Inst{Op: isa.OpISync, PC: in.PC + 8, Flags: in.Flags}
-			pending = append(pending, sc, sync)
-			return ll, true
-		case in.Op == isa.OpStore && in.Flags.Has(isa.FlagLockRelease):
-			// The barrier carries the release flag too so that SLE can
-			// recognize and elide the whole release idiom.
-			bar := isa.Inst{Op: isa.OpLWSync, PC: in.PC, Flags: in.Flags}
-			rel := in
-			rel.PC += 4
-			pending = append(pending, rel)
-			return bar, true
-		case in.Op == isa.OpMembar:
-			in.Op = isa.OpLWSync
-			return in, true
-		default:
-			return in, true
+		k := trace.Fill(r.src, r.scratch[:want])
+		if k == 0 {
+			break
 		}
-	})
+		var out [3]isa.Inst
+		for i := 0; i < k; i++ {
+			m := r.rewrite(r.scratch[i], &out)
+			for j := 0; j < m; j++ {
+				if n < len(dst) {
+					dst[n] = out[j]
+					n++
+				} else {
+					r.pending[r.pLen] = out[j]
+					r.pLen++
+				}
+			}
+		}
+	}
+	return n
 }
 
 // ElideLocks applies Speculative Lock Elision (§3.3.4) to a trace of

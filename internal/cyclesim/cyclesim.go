@@ -287,12 +287,13 @@ func (s *Sim) Run(src trace.Source) (*Stats, error) {
 	return s.RunContext(context.Background(), src)
 }
 
-// ctxCheckMask throttles context polling to every 8192 instructions,
-// mirroring the epoch engine's cancellation granularity.
-const ctxCheckMask = 8192 - 1
+// batchLen is the block size RunContext pulls from the trace source,
+// matching the epoch engine: interface dispatch and the cancellation
+// poll amortize over the block while it stays cache-resident.
+const batchLen = 4096
 
-// RunContext is Run with cancellation: the simulator polls ctx every
-// few thousand instructions and abandons the run once it is done.
+// RunContext is Run with cancellation: the simulator polls ctx once
+// per instruction block and abandons the run once it is done.
 func (s *Sim) RunContext(ctx context.Context, src trace.Source) (*Stats, error) {
 	if src == nil {
 		return nil, fmt.Errorf("cyclesim: nil source")
@@ -300,17 +301,22 @@ func (s *Sim) RunContext(ctx context.Context, src trace.Source) (*Stats, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	batch := make([]isa.Inst, batchLen)
+	bi, bn := 0, 0
 	var instIdx int64
 	for {
-		if instIdx&ctxCheckMask == 0 {
+		if bi == bn {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			bn = trace.Fill(src, batch)
+			if bn == 0 {
+				break
+			}
+			bi = 0
 		}
-		in, ok := src.Next()
-		if !ok {
-			break
-		}
+		in := batch[bi]
+		bi++
 		measuring := s.measuring(instIdx)
 		instIdx++
 

@@ -1,0 +1,39 @@
+package epoch
+
+import (
+	"testing"
+
+	"storemlp/internal/trace"
+)
+
+// TestRunContextAllocationFree pins down the perf contract of the
+// sliding-window engine: once the window, batch buffer and occupancy
+// rings have reached their steady-state sizes (first run), further
+// simulation allocates nothing per instruction — only the trace source
+// wrapper and a few bytes of constant overhead per run are permitted.
+func TestRunContextAllocationFree(t *testing.T) {
+	cfg := exCfg()
+	cfg.SMACEntries = 8 << 10 // exercise the SMAC path too
+	insts := mixTrace(17, 50_000)
+
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Warm run: grows the epoch window, occupancy buckets, open-store
+	// slice and batch buffer to steady state.
+	if _, err := e.Run(trace.NewSlice(insts)); err != nil {
+		t.Fatalf("warm Run: %v", err)
+	}
+
+	const perRunBudget = 8 // trace.NewSlice + constant-count incidentals
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := e.Run(trace.NewSlice(insts)); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	})
+	if allocs > perRunBudget {
+		t.Errorf("steady-state run of %d insts allocated %.0f objects (%.6f/inst), want <= %d per run",
+			len(insts), allocs, allocs/float64(len(insts)), perRunBudget)
+	}
+}

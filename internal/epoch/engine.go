@@ -102,7 +102,22 @@ type Engine struct {
 
 	idx  int64
 	warm int64
-	recs map[int64]*epochRec
+
+	// Sliding epoch-record window. Epochs are monotone and only ever
+	// referenced within a bounded lookback (see refFloor), so records
+	// live in a power-of-two ring: win[ep&winMask] holds epoch ep for
+	// ep in [winBase, winBase+len(win)). Records that fall below the
+	// reference floor are folded into stats and their slots zeroed for
+	// reuse; [winBase, winHi) is the materialized span and every slot
+	// outside it is zero.
+	win     []epochRec
+	winMask int64
+	winBase int64
+	winHi   int64
+
+	// batch is the reused block buffer RunContext fills from the trace
+	// source.
+	batch []isa.Inst
 
 	// Baselines snapshotted when measurement starts so warmup and
 	// prewarming are excluded from substrate statistics.
@@ -128,6 +143,7 @@ func WithSharedCore(src trace.Source) Option {
 			return fmt.Errorf("epoch: nil shared-core source")
 		}
 		e.bgSrc = src
+		e.hier.MarkL2Shared()
 		e.bgHier = cache.NewSharedHierarchy(e.cfg.Hierarchy, e.hier.L2)
 		if e.sm != nil {
 			e.bgHier.OnL2Evict = e.hier.OnL2Evict
@@ -151,43 +167,112 @@ func WithTraffic(spec coherence.TrafficSpec, seed int64) Option {
 
 // New builds an engine for the given machine configuration.
 func New(cfg uarch.Config, opts ...Option) (*Engine, error) {
-	if err := cfg.Validate(); err != nil {
+	e := new(Engine)
+	if err := e.Reconfigure(cfg, opts...); err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		cfg:               cfg,
-		hier:              cache.NewHierarchy(cfg.Hierarchy),
-		robRing:           newRing(cfg.ROB),
-		fbRing:            newRing(cfg.FetchBuffer),
-		sbRing:            newRing(cfg.StoreBuffer),
-		lbRing:            newRing(cfg.LoadBuffer),
-		iw:                newOccupancy(cfg.IssueWindow),
-		sq:                newOccupancy(cfg.StoreQueue),
-		recs:              make(map[int64]*epochRec),
-		warm:              cfg.WarmInsts,
-		window:            cfg.OverlapWindow(),
-		lastLoadMissEpoch: -1,
+	return e, nil
+}
+
+// Reconfigure returns the engine to its freshly constructed state for
+// cfg, reusing existing allocations whose geometry still fits: the
+// structure rings and occupancy queues, the epoch-record window, the
+// batch buffer, and — when the relevant parameters are unchanged — the
+// cache hierarchy, SMAC and branch predictor. A reconfigured engine is
+// observationally identical to New(cfg, opts...); the serving layer
+// relies on this to recycle engines across requests instead of
+// rebuilding the multi-megabyte substrate per simulation. It is safe
+// to call after an abandoned (cancelled) run: all mid-run state is
+// discarded.
+func (e *Engine) Reconfigure(cfg uarch.Config, opts ...Option) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
+	if e.hier != nil && e.cfg.Hierarchy == cfg.Hierarchy {
+		e.hier.Reset()
+	} else {
+		e.hier = cache.NewHierarchy(cfg.Hierarchy)
+	}
+	e.robRing = resizeRing(e.robRing, cfg.ROB)
+	e.fbRing = resizeRing(e.fbRing, cfg.FetchBuffer)
+	e.sbRing = resizeRing(e.sbRing, cfg.StoreBuffer)
+	e.lbRing = resizeRing(e.lbRing, cfg.LoadBuffer)
+	e.iw = resizeOccupancy(e.iw, cfg.IssueWindow)
+	e.sq = resizeOccupancy(e.sq, cfg.StoreQueue)
+
+	if e.win == nil {
+		e.win = make([]epochRec, initialWinLen)
+		e.winMask = initialWinLen - 1
+	} else {
+		// Only [winBase, winHi) may hold live records (an abandoned run
+		// leaves them populated); every slot outside the span is already
+		// zero by the window invariant.
+		for ep := e.winBase; ep < e.winHi; ep++ {
+			e.win[ep&e.winMask] = epochRec{}
+		}
+	}
+	e.winBase, e.winHi = 0, 0
+
+	e.regReady = [isa.RegCount]int64{}
+	e.fetchAvail, e.lastDispatch, e.lastRetire, e.serialBar = 0, 0, 0, 0
+	e.prevCommitDone, e.maxCommitDone, e.lwsyncFloor = 0, 0, 0
+	e.coalAddr, e.coalDone, e.coalValid = 0, 0, false
 	if cfg.Model == consistency.WC {
-		e.coalWC = make(map[uint64]int64)
+		if e.coalWC == nil {
+			e.coalWC = make(map[uint64]int64)
+		} else {
+			clear(e.coalWC)
+		}
+	} else {
+		e.coalWC = nil
 	}
+	e.scoutUntil, e.scoutEpoch, e.scoutStores = 0, 0, false
+	e.open = e.open[:0]
+	e.openHead = 0
+	e.lastLoadMissEpoch = -1
+	e.idx = 0
+	e.warm = cfg.WarmInsts
+	e.window = cfg.OverlapWindow()
+	e.hierBase = cache.HierarchyStats{}
+	e.smacBase = smac.Stats{}
+	e.snoopBase = 0
+	e.stats = Stats{}
+
 	if cfg.ModelBranchPredictor {
-		e.bp = branch.New(cfg.BranchConfig())
+		if e.bp != nil && e.cfg.BranchConfig() == cfg.BranchConfig() {
+			e.bp.Reset()
+		} else {
+			e.bp = branch.New(cfg.BranchConfig())
+		}
+	} else {
+		e.bp = nil
 	}
 	if cfg.SMACEntries > 0 {
-		e.sm = smac.New(cfg.SMACParams())
+		if e.sm != nil && e.cfg.SMACParams() == cfg.SMACParams() {
+			e.sm.Reset()
+		} else {
+			e.sm = smac.New(cfg.SMACParams())
+		}
 		e.hier.OnL2Evict = func(addr uint64, st cache.MESI) {
 			if st == cache.Modified {
 				e.sm.RecordEviction(addr)
 			}
 		}
+	} else {
+		e.sm = nil
+		e.hier.OnL2Evict = nil
 	}
+
+	// Option state is always rebuilt: seeds and sources are per run.
+	e.traf = nil
+	e.bgSrc, e.bgHier = nil, nil
+	e.cfg = cfg
 	for _, opt := range opts {
 		if err := opt(e); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return e, nil
+	return nil
 }
 
 // stepSharedCore advances the co-scheduled core by one instruction.
@@ -226,15 +311,16 @@ func (e *Engine) Run(src trace.Source) (*Stats, error) {
 	return e.RunContext(context.Background(), src)
 }
 
-// ctxCheckMask throttles context polling to every 8192 instructions:
-// cheap relative to the per-instruction work, responsive relative to
-// any realistic deadline (a few hundred microseconds of simulation).
-const ctxCheckMask = 8192 - 1
+// batchLen is the block size RunContext pulls from the trace source:
+// large enough that interface dispatch, the cancellation poll and the
+// trace transform chain amortize to noise, small enough that a block of
+// isa.Inst stays cache-resident (4096 x 24 B = 96 KB).
+const batchLen = 4096
 
-// RunContext is Run with cancellation: the engine polls ctx every few
-// thousand instructions and abandons the run — returning ctx's error
-// and no statistics — once the context is done. This is how the
-// serving layer honours client disconnects and per-request deadlines.
+// RunContext is Run with cancellation: the engine polls ctx once per
+// instruction block and abandons the run — returning ctx's error and no
+// statistics — once the context is done. This is how the serving layer
+// honours client disconnects and per-request deadlines.
 func (e *Engine) RunContext(ctx context.Context, src trace.Source) (*Stats, error) {
 	if src == nil {
 		return nil, fmt.Errorf("epoch: nil trace source")
@@ -242,17 +328,20 @@ func (e *Engine) RunContext(ctx context.Context, src trace.Source) (*Stats, erro
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if e.batch == nil {
+		e.batch = make([]isa.Inst, batchLen)
+	}
 	for {
-		if e.idx&ctxCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		in, ok := src.Next()
-		if !ok {
+		n := trace.Fill(src, e.batch)
+		if n == 0 {
 			break
 		}
-		e.step(in)
+		for i := 0; i < n; i++ {
+			e.step(e.batch[i])
+		}
 	}
 	e.finalize()
 	return &e.stats, nil
@@ -265,20 +354,94 @@ func maxi(a, b int64) int64 {
 	return b
 }
 
-func (e *Engine) rec(ep int64) *epochRec {
-	r := e.recs[ep]
-	if r == nil {
-		r = &epochRec{}
-		e.recs[ep] = r
+// initialWinLen is the starting epoch-record ring size; the steady-state
+// live span is bounded by the machine's structural lookback (a few
+// hundred epochs for realistic configurations), so growth is a
+// pathological fallback, not the common case.
+const initialWinLen = 1024
+
+// refFloor returns the lowest epoch any future operation can still
+// reference: the in-order fetch chain (every charge and label site is at
+// or above fetchAvail at the time it runs), lowered by an active scout
+// window's trigger epoch and by open store misses awaiting the
+// fully-overlapped adjustment. Each component is at or above the floor
+// that held when it was created, so the floor never retreats and
+// records below it are permanently immutable — safe to fold.
+func (e *Engine) refFloor() int64 {
+	floor := e.fetchAvail
+	if e.idx <= e.scoutUntil && e.scoutEpoch < floor {
+		floor = e.scoutEpoch
 	}
-	return r
+	for i := e.openHead; i < len(e.open); i++ {
+		if e.open[i].ep < floor {
+			floor = e.open[i].ep
+		}
+	}
+	if floor < e.winBase {
+		floor = e.winBase
+	}
+	return floor
+}
+
+// advanceWin makes room for epoch ep: records below the reference floor
+// fold into stats and free their slots; if the still-live span cannot
+// fit the ring even after folding, the ring doubles.
+func (e *Engine) advanceWin(ep int64) {
+	floor := e.refFloor()
+	foldTo := floor
+	if foldTo > e.winHi {
+		foldTo = e.winHi
+	}
+	for e.winBase < foldTo {
+		r := &e.win[e.winBase&e.winMask]
+		e.foldRec(r)
+		*r = epochRec{}
+		e.winBase++
+	}
+	if e.winBase < floor {
+		// Nothing was materialized in [winBase, floor); skip ahead.
+		e.winBase = floor
+		e.winHi = floor
+	}
+	for ep >= e.winBase+int64(len(e.win)) {
+		e.growWin()
+	}
+}
+
+// growWin doubles the ring, rehoming the live span.
+func (e *Engine) growWin() {
+	next := make([]epochRec, 2*len(e.win))
+	mask := int64(len(next) - 1)
+	for epo := e.winBase; epo < e.winHi; epo++ {
+		next[epo&mask] = e.win[epo&e.winMask]
+	}
+	e.win = next
+	e.winMask = mask
+}
+
+// winRec returns the record for epoch ep, sliding the window forward as
+// needed. ep below the folded horizon would mean the floor invariant is
+// broken — mutating a folded epoch silently corrupts stats, so fail
+// loudly instead.
+func (e *Engine) winRec(ep int64) *epochRec {
+	if ep < e.winBase {
+		panic(fmt.Sprintf("epoch: reference to epoch %d below folded horizon %d", ep, e.winBase))
+	}
+	if ep >= e.winBase+int64(len(e.win)) {
+		e.advanceWin(ep)
+	}
+	if ep >= e.winHi {
+		e.winHi = ep + 1
+	}
+	return &e.win[ep&e.winMask]
 }
 
 func (e *Engine) charge(ep int64, kind missKind, measuring bool) {
 	if !measuring {
 		return
 	}
-	r := e.rec(ep)
+	r := e.winRec(ep)
+	r.live = true
 	switch kind {
 	case kindLoad:
 		r.loadMisses++
@@ -289,14 +452,22 @@ func (e *Engine) charge(ep int64, kind missKind, measuring bool) {
 	}
 }
 
-// setTermRange labels existing epochs in [from,to) with the termination
-// condition, first cause winning.
+// setTermRange labels charged epochs in [from,to) with the termination
+// condition, first cause winning. Epochs beyond the materialized span
+// carry no charge yet and so (as with the old map accounting) take no
+// label.
 func (e *Engine) setTermRange(from, to int64, cond TermCond) {
 	if to > from+termScanCap {
 		to = from + termScanCap
 	}
+	if from < e.winBase {
+		from = e.winBase
+	}
+	if to > e.winHi {
+		to = e.winHi
+	}
 	for ep := from; ep < to; ep++ {
-		if r, ok := e.recs[ep]; ok && r.term == TermNone {
+		if r := &e.win[ep&e.winMask]; r.live && r.term == TermNone {
 			r.term = cond
 		}
 	}
@@ -324,7 +495,9 @@ func (e *Engine) drainOverlapped(idx int64) {
 		e.open[e.openHead] = openStore{}
 		e.openHead++
 		e.stats.OverlappedStores++
-		if r, ok := e.recs[s.ep]; ok && r.storeMisses > 0 {
+		// s.ep is above the fold horizon by construction: open entries
+		// hold the floor down until they drain here.
+		if r := e.winRec(s.ep); r.live && r.storeMisses > 0 {
 			r.storeMisses--
 		}
 	}
@@ -382,9 +555,15 @@ func (e *Engine) step(in isa.Inst) {
 	if idx == e.warm {
 		e.snapshotBaselines()
 	}
-	e.traf.Advance(1)
-	e.stepSharedCore()
-	e.drainOverlapped(idx)
+	if e.traf != nil {
+		e.traf.Advance(1)
+	}
+	if e.bgSrc != nil {
+		e.stepSharedCore()
+	}
+	if e.openHead < len(e.open) {
+		e.drainOverlapped(idx)
+	}
 
 	perfect := e.cfg.PerfectStores
 	shared := in.Flags.Has(isa.FlagShared)
@@ -623,38 +802,48 @@ func (e *Engine) Hierarchy() *cache.Hierarchy { return e.hier }
 // SMAC exposes the store-miss accelerator; nil when not configured.
 func (e *Engine) SMAC() *smac.SMAC { return e.sm }
 
+// foldRec retires one epoch record into the aggregate statistics. All
+// contributions are commutative adds, so fold order (incremental during
+// the run vs. the old end-of-run map sweep) does not affect the result.
+func (e *Engine) foldRec(r *epochRec) {
+	m := r.misses()
+	if m <= 0 {
+		return
+	}
+	e.stats.Epochs++
+	e.stats.StoreMisses += int64(r.storeMisses)
+	e.stats.LoadMisses += int64(r.loadMisses)
+	e.stats.InstMisses += int64(r.instMisses)
+	sb := int(r.storeMisses)
+	if sb > MaxStoreMLPBucket {
+		sb = MaxStoreMLPBucket
+	}
+	lb := int(r.loadMisses + r.instMisses)
+	if lb > MaxLoadInstBucket {
+		lb = MaxLoadInstBucket
+	}
+	e.stats.MLPJoint[sb][lb]++
+	e.stats.epochsWithAny++
+	e.stats.loadInstMLPSum += int64(r.loadMisses) + int64(r.instMisses)
+	if r.storeMisses > 0 {
+		e.stats.EpochsWithStore++
+		e.stats.storeMLPSum += int64(r.storeMisses)
+		e.stats.TermCounts[r.term]++
+	}
+}
+
 func (e *Engine) finalize() {
 	// Stores that aged past the overlap window without a stall are fully
 	// overlapped; anything still open at end of trace is conservatively
 	// counted as exposed (its fate is unknowable).
 	e.drainOverlapped(e.idx)
 	e.expose(e.idx, true)
-	for _, r := range e.recs {
-		m := r.misses()
-		if m <= 0 {
-			continue
-		}
-		e.stats.Epochs++
-		e.stats.StoreMisses += int64(r.storeMisses)
-		e.stats.LoadMisses += int64(r.loadMisses)
-		e.stats.InstMisses += int64(r.instMisses)
-		sb := int(r.storeMisses)
-		if sb > MaxStoreMLPBucket {
-			sb = MaxStoreMLPBucket
-		}
-		lb := int(r.loadMisses + r.instMisses)
-		if lb > MaxLoadInstBucket {
-			lb = MaxLoadInstBucket
-		}
-		e.stats.MLPJoint[sb][lb]++
-		e.stats.epochsWithAny++
-		e.stats.loadInstMLPSum += int64(r.loadMisses) + int64(r.instMisses)
-		if r.storeMisses > 0 {
-			e.stats.EpochsWithStore++
-			e.stats.storeMLPSum += int64(r.storeMisses)
-			e.stats.TermCounts[r.term]++
-		}
+	for ep := e.winBase; ep < e.winHi; ep++ {
+		r := &e.win[ep&e.winMask]
+		e.foldRec(r)
+		*r = epochRec{}
 	}
+	e.winBase = e.winHi
 	e.stats.Hierarchy = subHier(e.hier.Stats, e.hierBase)
 	if e.sm != nil {
 		e.stats.SMAC = subSMAC(e.sm.Stats, e.smacBase)

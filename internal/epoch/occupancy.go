@@ -4,88 +4,73 @@ package epoch
 // in FIFO order (ROB, fetch buffer, store buffer, load buffer): an entry
 // admitted now must wait for the free epoch of the entry `size`
 // positions earlier. It starts zero-filled, i.e. all slots initially
-// free at epoch 0.
+// free at epoch 0. Each slot packs free<<3|tag into one word so a
+// push is a single store and a peek a single load; free epochs stay
+// far below 2^60 (they are bounded by the instruction count).
 type ring struct {
-	buf []int64
-	tag []uint8
+	buf []uint64
 	pos int
 }
 
 func newRing(size int) *ring {
-	return &ring{buf: make([]int64, size), tag: make([]uint8, size)}
+	return &ring{buf: make([]uint64, size)}
 }
 
 // oldest returns the free epoch (and tag) of the slot about to be
 // reused.
-func (r *ring) oldest() (int64, uint8) { return r.buf[r.pos], r.tag[r.pos] }
+func (r *ring) oldest() (int64, uint8) {
+	e := r.buf[r.pos]
+	return int64(e >> 3), uint8(e & 7)
+}
 
 // push records the free epoch and tag of the newly admitted entry.
 func (r *ring) push(free int64, tag uint8) {
-	r.buf[r.pos] = free
-	r.tag[r.pos] = tag
+	r.buf[r.pos] = uint64(free)<<3 | uint64(tag)
 	r.pos++
 	if r.pos == len(r.buf) {
 		r.pos = 0
 	}
 }
 
-// minHeap is a small binary min-heap of epochs, used for structures
-// whose entries free out of order (the issue window, and the store
-// queue under weak consistency's out-of-order commit).
-type minHeap struct {
-	v []int64
-}
-
-func (h *minHeap) push(x int64) {
-	h.v = append(h.v, x)
-	i := len(h.v) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h.v[p] <= h.v[i] {
-			break
-		}
-		h.v[p], h.v[i] = h.v[i], h.v[p]
-		i = p
+// reset returns the ring to its initial all-free state.
+func (r *ring) reset() {
+	for i := range r.buf {
+		r.buf[i] = 0
 	}
+	r.pos = 0
 }
-
-func (h *minHeap) min() int64 { return h.v[0] }
-
-func (h *minHeap) pop() int64 {
-	top := h.v[0]
-	last := len(h.v) - 1
-	h.v[0] = h.v[last]
-	h.v = h.v[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < len(h.v) && h.v[l] < h.v[m] {
-			m = l
-		}
-		if r < len(h.v) && h.v[r] < h.v[m] {
-			m = r
-		}
-		if m == i {
-			break
-		}
-		h.v[i], h.v[m] = h.v[m], h.v[i]
-		i = m
-	}
-	return top
-}
-
-func (h *minHeap) len() int { return len(h.v) }
 
 // occupancy tracks a structure with out-of-order frees and fixed
-// capacity. admit returns the earliest epoch (>= t) at which a new entry
-// fits; the caller then pushes the entry's own free epoch.
+// capacity (the issue window, and the store queue under weak
+// consistency's out-of-order commit). admit returns the earliest epoch
+// (>= t) at which a new entry fits; the caller then pushes the entry's
+// own free epoch.
+//
+// Entries are free epochs within a bounded span of the current epoch,
+// and — because an entry's free epoch is never below the admit epoch
+// that preceded its push — entries always land at or above the oldest
+// epoch still occupied. That makes a bucket ring with a monotone
+// cursor an exact replacement for a priority queue: counts per epoch,
+// a base cursor that only moves forward, amortized O(1) per operation
+// where a heap pays two O(log cap) sifts per instruction.
 type occupancy struct {
-	h   minHeap
-	cap int // <= 0 means unbounded
+	cnt  []int32 // occupied-entry counts per epoch, ring-indexed
+	mask int64
+	base int64 // lowest epoch that may hold entries; slots below are zero
+	n    int   // total entries
+	cap  int   // <= 0 means unbounded
 }
 
-func newOccupancy(capacity int) *occupancy { return &occupancy{cap: capacity} }
+const initialOccLen = 256
+
+func newOccupancy(capacity int) *occupancy {
+	o := &occupancy{cap: capacity}
+	if capacity > 0 {
+		o.cnt = make([]int32, initialOccLen)
+		o.mask = initialOccLen - 1
+	}
+	return o
+}
 
 // admit frees entries whose free epoch is <= t, then, if the structure
 // is still full, waits for the earliest free. It returns the admit
@@ -94,22 +79,82 @@ func (o *occupancy) admit(t int64) int64 {
 	if o.cap <= 0 {
 		return t
 	}
-	for o.h.len() > 0 && o.h.min() <= t {
-		o.h.pop()
+	for o.base <= t && o.n > 0 {
+		o.n -= int(o.cnt[o.base&o.mask])
+		o.cnt[o.base&o.mask] = 0
+		o.base++
 	}
-	for o.h.len() >= o.cap {
-		w := o.h.pop()
-		if w > t {
-			t = w
+	if o.base <= t {
+		o.base = t + 1 // emptied out; every slot is zero, skip ahead
+	}
+	for o.n >= o.cap {
+		for o.cnt[o.base&o.mask] == 0 {
+			o.base++
 		}
+		o.cnt[o.base&o.mask]--
+		o.n--
+		t = o.base // entries pop in nondecreasing order, so t only grows
 	}
 	return t
 }
 
-// push records the new entry's free epoch.
+// push records the new entry's free epoch. An entry already at or below
+// the cursor (free == the last admit epoch, which the admit sweep moved
+// past) is dropped instead of stored: admit epochs are nondecreasing,
+// so the next admit would free it before the capacity check ever sees
+// it — dropping now is observationally identical and keeps the
+// everything-below-base-is-zero invariant.
 func (o *occupancy) push(free int64) {
-	if o.cap <= 0 {
+	if o.cap <= 0 || free < o.base {
 		return
 	}
-	o.h.push(free)
+	for free >= o.base+int64(len(o.cnt)) {
+		o.grow()
+	}
+	o.cnt[free&o.mask]++
+	o.n++
+}
+
+// grow doubles the bucket ring, rehoming occupied epochs.
+func (o *occupancy) grow() {
+	next := make([]int32, 2*len(o.cnt))
+	mask := int64(len(next) - 1)
+	for ep := o.base; ep < o.base+int64(len(o.cnt)); ep++ {
+		next[ep&mask] = o.cnt[ep&o.mask]
+	}
+	o.cnt = next
+	o.mask = mask
+}
+
+// len returns the number of occupied entries (for tests).
+func (o *occupancy) len() int { return o.n }
+
+// reset empties the structure.
+func (o *occupancy) reset() {
+	for i := range o.cnt {
+		o.cnt[i] = 0
+	}
+	o.base = 0
+	o.n = 0
+}
+
+// resizeRing returns a reset ring of the given size, reusing r's
+// allocation when the size is unchanged.
+func resizeRing(r *ring, size int) *ring {
+	if r == nil || len(r.buf) != size {
+		return newRing(size)
+	}
+	r.reset()
+	return r
+}
+
+// resizeOccupancy returns a reset occupancy queue of the given
+// capacity, reusing o's allocation (including any growth beyond the
+// initial bucket count) when the capacity is unchanged.
+func resizeOccupancy(o *occupancy, capacity int) *occupancy {
+	if o == nil || o.cap != capacity {
+		return newOccupancy(capacity)
+	}
+	o.reset()
+	return o
 }

@@ -2,7 +2,6 @@ package epoch
 
 import (
 	"math/rand"
-	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -22,26 +21,6 @@ func TestRingFIFO(t *testing.T) {
 	r.push(8, tagPlain)
 	if v, tag := r.oldest(); v != 6 || tag != tagLoad {
 		t.Fatalf("oldest after wrap = %d/%d", v, tag)
-	}
-}
-
-func TestMinHeapOrdering(t *testing.T) {
-	f := func(vals []int64) bool {
-		var h minHeap
-		for _, v := range vals {
-			h.push(v)
-		}
-		sorted := append([]int64(nil), vals...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		for _, want := range sorted {
-			if h.pop() != want {
-				return false
-			}
-		}
-		return h.len() == 0
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
 	}
 }
 
@@ -98,7 +77,7 @@ func TestOccupancyProperty(t *testing.T) {
 			}
 			o.push(got + int64(rng.Intn(5)))
 			now = got
-			if o.h.len() > 4 {
+			if o.len() > 4 {
 				return false
 			}
 		}

@@ -61,12 +61,16 @@ func (t TermCond) String() string {
 	return fmt.Sprintf("term(%d)", uint8(t))
 }
 
-// epochRec accumulates per-epoch facts during a run.
+// epochRec accumulates per-epoch facts during a run. live distinguishes
+// a charged epoch from an untouched ring slot: termination conditions
+// label only epochs that already carry a charge, exactly as the old
+// map-based accounting labelled only epochs present in the map.
 type epochRec struct {
 	storeMisses int32
 	loadMisses  int32
 	instMisses  int32
 	term        TermCond
+	live        bool
 }
 
 func (r *epochRec) misses() int64 {

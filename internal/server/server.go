@@ -117,9 +117,10 @@ func New(cfg Config) *Server {
 		cfg.DefaultTimeout = 120 * time.Second
 	}
 	if cfg.Runner == nil {
-		cfg.Runner = func(ctx context.Context, spec sim.Spec) (*epoch.Stats, error) {
-			return sim.RunContext(ctx, spec)
-		}
+		// Recycle engines across requests: with bounded worker
+		// concurrency the pool converges on one engine per worker and
+		// steady-state serving stops allocating simulator substrate.
+		cfg.Runner = sim.NewPool().RunContext
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()

@@ -1,0 +1,82 @@
+// Engine pooling for the serving layer: one simulation request no
+// longer pays for building the multi-megabyte cache hierarchy, the
+// structure rings and the epoch-record window — engines are recycled
+// through epoch.Engine.Reconfigure, which resets them to an
+// observationally fresh state while keeping every allocation whose
+// geometry still fits the next request's configuration.
+package sim
+
+import (
+	"context"
+	"sync"
+
+	"storemlp/internal/epoch"
+)
+
+// Pool recycles epoch engines across simulation runs. The zero value
+// is ready to use; Pool is safe for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free []*epoch.Engine
+}
+
+// NewPool returns an empty engine pool.
+func NewPool() *Pool { return &Pool{} }
+
+func (p *Pool) get() *epoch.Engine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return e
+	}
+	return new(epoch.Engine)
+}
+
+func (p *Pool) put(e *epoch.Engine) {
+	p.mu.Lock()
+	p.free = append(p.free, e)
+	p.mu.Unlock()
+}
+
+// Idle returns the number of engines currently parked in the pool
+// (for tests and metrics).
+func (p *Pool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Run executes the simulation on a pooled engine.
+func (p *Pool) Run(s Spec) (*epoch.Stats, error) {
+	return p.RunContext(context.Background(), s)
+}
+
+// RunContext is Run with cancellation. It is a drop-in replacement for
+// the package-level RunContext: the recycled engine is reconfigured to
+// an observationally fresh state first, so results are identical.
+func (p *Pool) RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, opts := prepare(s)
+	e := p.get()
+	// A failed Reconfigure (or a cancelled run) leaves mid-run state
+	// behind, but the next Reconfigure discards it, so the engine goes
+	// back to the pool on every path.
+	defer p.put(e)
+	if err := e.Reconfigure(cfg, opts...); err != nil {
+		return nil, err
+	}
+	src := BuildSource(s.Workload, cfg, s.Warm+s.Insts)
+	st, err := e.RunContext(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	// The engine exposes its own stats field; copy before the engine is
+	// handed to the next request.
+	out := *st
+	return &out, nil
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"storemlp/internal/consistency"
+	"storemlp/internal/uarch"
+	"storemlp/internal/workload"
+)
+
+// TestPoolMatchesRun drives one pool through a sequence of differently
+// shaped specs — consistency models, SMAC, multi-node traffic, shared
+// core — and requires bit-identical statistics versus a fresh engine,
+// in spite of each run inheriting the previous run's recycled engine.
+func TestPoolMatchesRun(t *testing.T) {
+	wc := uarch.Default()
+	wc.Model = consistency.WC
+	smacCfg := uarch.Default()
+	smacCfg.SMACEntries = 32 << 10
+	multi := uarch.Default()
+	multi.Nodes = 2
+
+	specs := []Spec{
+		{Workload: workload.Database(1), Uarch: uarch.Default(), Insts: 60_000, Warm: 30_000},
+		{Workload: workload.TPCW(2), Uarch: wc, Insts: 60_000, Warm: 30_000},
+		{Workload: workload.Database(3), Uarch: smacCfg, Insts: 60_000, Warm: 30_000},
+		{Workload: workload.Database(4), Uarch: multi, Insts: 60_000, Warm: 30_000},
+		{Workload: workload.Database(5), Uarch: uarch.Default(), Insts: 60_000, Warm: 30_000, SharedCore: true},
+		{Workload: workload.Database(1), Uarch: uarch.Default(), Insts: 60_000, Warm: 30_000},
+	}
+
+	p := NewPool()
+	for i, s := range specs {
+		want, err := Run(s)
+		if err != nil {
+			t.Fatalf("spec %d: Run: %v", i, err)
+		}
+		got, err := p.Run(s)
+		if err != nil {
+			t.Fatalf("spec %d: Pool.Run: %v", i, err)
+		}
+		if *got != *want {
+			t.Errorf("spec %d: pooled run diverged:\n got  %+v\n want %+v", i, *got, *want)
+		}
+	}
+	if idle := p.Idle(); idle != 1 {
+		t.Errorf("sequential pool use parked %d engines, want 1", idle)
+	}
+}
+
+// TestPoolRecyclesAfterCancel: an engine abandoned mid-run must return
+// to the pool and produce correct results on its next lease.
+func TestPoolRecyclesAfterCancel(t *testing.T) {
+	p := NewPool()
+	s := Spec{Workload: workload.Database(1), Uarch: uarch.Default(), Insts: 60_000, Warm: 30_000}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunContext(ctx, s); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if idle := p.Idle(); idle != 1 {
+		t.Fatalf("cancelled run parked %d engines, want 1", idle)
+	}
+
+	want, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got, err := p.Run(s)
+	if err != nil {
+		t.Fatalf("Pool.Run: %v", err)
+	}
+	if *got != *want {
+		t.Errorf("post-cancel pooled run diverged:\n got  %+v\n want %+v", *got, *want)
+	}
+}

@@ -75,12 +75,10 @@ func Run(s Spec) (*epoch.Stats, error) {
 	return RunContext(context.Background(), s)
 }
 
-// RunContext is Run with cancellation: the epoch engine polls ctx and
-// abandons the simulation once it is done, returning ctx's error.
-func RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
+// prepare derives the engine configuration and options from a
+// validated spec; it is shared by the one-shot RunContext and the
+// engine Pool.
+func prepare(s Spec) (uarch.Config, []epoch.Option) {
 	cfg := s.Uarch
 	cfg.WarmInsts = s.Warm
 	var opts []epoch.Option
@@ -94,6 +92,16 @@ func RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
 		co.AddrOffset = 1 << 44
 		opts = append(opts, epoch.WithSharedCore(workload.NewGenerator(co)))
 	}
+	return cfg, opts
+}
+
+// RunContext is Run with cancellation: the epoch engine polls ctx and
+// abandons the simulation once it is done, returning ctx's error.
+func RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, opts := prepare(s)
 	eng, err := epoch.New(cfg, opts...)
 	if err != nil {
 		return nil, err

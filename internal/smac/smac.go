@@ -273,3 +273,13 @@ func (s *SMAC) OwnedSubBlocks() int {
 	}
 	return n
 }
+
+// Reset empties the SMAC and zeroes its statistics, returning it to its
+// as-constructed state without reallocating.
+func (s *SMAC) Reset() {
+	for i := range s.sets {
+		s.sets[i] = entry{}
+	}
+	s.clock = 0
+	s.Stats = Stats{}
+}

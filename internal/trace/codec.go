@@ -173,5 +173,26 @@ func (tr *Reader) Next() (isa.Inst, bool) {
 	return in, true
 }
 
+// ReadBatch implements BatchSource: it decodes records straight into
+// dst until dst is full or the stream ends. The decode logic is the
+// same as Next; the win is that interface dispatch and the per-call
+// error/remain checks amortize over the block.
+func (tr *Reader) ReadBatch(dst []isa.Inst) int {
+	n := 0
+	for n < len(dst) {
+		in, ok := tr.Next()
+		if !ok {
+			break
+		}
+		dst[n] = in
+		n++
+	}
+	return n
+}
+
+// SizeHint implements Sized with the header-declared record count, or
+// -1 when the header did not declare one.
+func (tr *Reader) SizeHint() int64 { return tr.remain }
+
 // Err returns the first decode error encountered, if any.
 func (tr *Reader) Err() error { return tr.err }

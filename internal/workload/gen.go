@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 
 	"storemlp/internal/isa"
@@ -247,6 +248,91 @@ func (g *Generator) Next() (isa.Inst, bool) {
 	g.tick()
 	return in, true
 }
+
+// ReadBatch implements trace.BatchSource, producing the exact stream
+// Next produces — same event ordering, same rand draws — with the
+// per-instruction work hoisted: while the emission queue is empty and
+// no scheduled event is due for k instructions, it emits k background
+// instructions straight into dst and retires k from every countdown in
+// one step. emitPlain never reads the countdowns, so a run of plain
+// emissions followed by one bulk decrement is indistinguishable from
+// the tick-per-instruction path.
+func (g *Generator) ReadBatch(dst []isa.Inst) int {
+	n := 0
+	for n < len(dst) {
+		if g.qHead < len(g.queue) ||
+			g.nextLock == 0 || g.nextMembar == 0 ||
+			g.nextMispred == 0 || g.nextColdCode == 0 {
+			// Queue drain or an event boundary: take the general path
+			// one instruction at a time until the stream is plain again.
+			in, ok := g.Next()
+			if !ok {
+				return n
+			}
+			dst[n] = in
+			n++
+			continue
+		}
+		k := int64(len(dst) - n)
+		if g.nextLock > 0 && g.nextLock < k {
+			k = g.nextLock
+		}
+		if g.nextMembar > 0 && g.nextMembar < k {
+			k = g.nextMembar
+		}
+		if g.nextMispred > 0 && g.nextMispred < k {
+			k = g.nextMispred
+		}
+		if g.nextColdCode > 0 && g.nextColdCode < k {
+			k = g.nextColdCode
+		}
+		// Mirror of emitPlain with the dispatch expanded in place — the
+		// rand draws, register rotation and PC advance happen in exactly
+		// the same order — so the majority ALU/branch cases build their
+		// Inst straight into dst with no call. Keep in sync with
+		// emitPlain.
+		for i := int64(0); i < k; i++ {
+			r := g.rng.Float64()
+			switch {
+			case r < g.pStore:
+				dst[n] = g.emitStore()
+			case r < g.pStore+g.pLoad:
+				dst[n] = g.emitLoad()
+			case r < g.pStore+g.pLoad+g.pBranch:
+				in := isa.Inst{Op: isa.OpBranch, PC: g.nextPC(), Src1: g.lastLoadDst}
+				if g.branchTaken(in.PC) {
+					in.Flags |= isa.FlagTaken
+				}
+				dst[n] = in
+			default:
+				d := g.nextReg()
+				src := isa.Reg(0)
+				if g.rng.Float64() < 0.3 {
+					src = g.lastLoadDst
+				}
+				dst[n] = isa.Inst{Op: isa.OpALU, PC: g.nextPC(), Dst: d, Src1: src}
+			}
+			n++
+		}
+		if g.nextLock > 0 {
+			g.nextLock -= k
+		}
+		if g.nextMembar > 0 {
+			g.nextMembar -= k
+		}
+		if g.nextMispred > 0 {
+			g.nextMispred -= k
+		}
+		if g.nextColdCode > 0 {
+			g.nextColdCode -= k
+		}
+	}
+	return n
+}
+
+// SizeHint implements trace.Sized. The stream is infinite; reporting a
+// huge hint lets trace.Limit report its budget as the exact count.
+func (g *Generator) SizeHint() int64 { return math.MaxInt64 }
 
 // tick advances the scheduled-event countdowns by one instruction.
 func (g *Generator) tick() {

@@ -18,6 +18,9 @@ go run ./cmd/storemlpvet ./...
 echo '>> go test -race ./...'
 go test -race "$@" ./...
 
+echo '>> benchmark smoke (1 iteration)'
+go test -run '^$' -bench '^(BenchmarkEngine|BenchmarkTraceCodec)$' -benchtime 1x -benchmem .
+
 echo '>> mlpsimd smoke test'
 tmpdir=$(mktemp -d)
 smoke_cleanup() {
