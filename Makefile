@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet storemlpvet bench bench-serve
+.PHONY: build test check vet storemlpvet lint bench bench-serve
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,9 @@ vet:
 
 storemlpvet:
 	$(GO) run ./cmd/storemlpvet ./...
+
+# Standalone invariant lint: the nine storemlpvet rules, nothing else.
+lint: storemlpvet
 
 bench:
 	$(GO) test -bench=. -benchmem

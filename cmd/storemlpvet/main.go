@@ -1,6 +1,7 @@
 // Command storemlpvet runs MLPsim's repo-specific static-analysis suite
 // over the module: exhaustive-enum, validate-coverage, stats-drift,
-// floatcmp and ctxmut (see DESIGN.md, "Static analysis").
+// floatcmp, ctxmut, resetcomplete, guardedby, hotpath and ctxpoll (see
+// DESIGN.md, "Static analysis" and "Invariant analyzers").
 //
 // Usage:
 //

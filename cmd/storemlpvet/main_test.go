@@ -91,7 +91,8 @@ func TestListRules(t *testing.T) {
 		t.Fatalf("exit %d for -list, want 0", code)
 	}
 	for _, rule := range []string{"exhaustive-enum", "validate-coverage",
-		"stats-drift", "floatcmp", "ctxmut"} {
+		"stats-drift", "floatcmp", "ctxmut",
+		"resetcomplete", "guardedby", "hotpath", "ctxpoll"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list missing %s:\n%s", rule, out.String())
 		}

@@ -48,6 +48,12 @@ func DefaultAnalyzers() []Analyzer {
 			"storemlp/internal/uarch.Config",
 			"storemlp/internal/workload.Params",
 		}},
+		ResetComplete{Methods: map[string]string{
+			"storemlp/internal/epoch.Engine": "Reconfigure",
+		}},
+		GuardedBy{},
+		HotPath{},
+		CtxPoll{TracePkg: "storemlp/internal/trace"},
 	}
 }
 

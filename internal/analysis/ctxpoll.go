@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxPoll enforces the cancellation contract of the batched trace
+// pipeline: any loop in a context-taking function that consumes trace
+// batches (trace.Fill / Next / ReadBatch) must poll the context — a
+// ctx.Err() call or ctx.Done() receive lexically inside the loop — so
+// a cancelled request stops within one batch (the 8192-instruction
+// bound the service layer promises) instead of running a multi-billion
+// instruction replay to completion.
+//
+// Calls are attributed to their innermost enclosing loop: an inner
+// stall loop with no trace consumption needs no poll, and a nested
+// consuming loop is checked on its own.
+type CtxPoll struct {
+	// TracePkg is the import path of the trace package whose consuming
+	// calls (Fill, Next, ReadBatch) mark a loop as batch-iterating.
+	TracePkg string
+}
+
+// Name implements Analyzer.
+func (CtxPoll) Name() string { return "ctxpoll" }
+
+// Doc implements Analyzer.
+func (CtxPoll) Doc() string {
+	return "loops consuming trace batches in context-taking functions must poll ctx"
+}
+
+// Run implements Analyzer.
+func (a CtxPoll) Run(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				ctxObj := contextParam(pkg, fn)
+				if ctxObj == nil {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					body, pos := loopBody(n)
+					if body == nil {
+						return true
+					}
+					if !a.consumesTrace(pkg, body) {
+						return true
+					}
+					if pollsCtx(pkg, body, ctxObj) {
+						return true
+					}
+					out = append(out, Diagnostic{
+						Pos:  m.Fset.Position(pos),
+						Rule: a.Name(),
+						Message: fmt.Sprintf("loop consumes trace batches without polling %s (check %s.Err() every batch so cancellation lands within the 8192-inst bound)",
+							ctxObj.Name(), ctxObj.Name()),
+					})
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// contextParam returns the function's context.Context parameter object,
+// or nil.
+func contextParam(pkg *Package, fn *ast.FuncDecl) types.Object {
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pkg.Info.Defs[name]
+			if obj != nil && obj.Type() != nil && obj.Type().String() == "context.Context" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// loopBody unwraps a for/range statement into its body and position.
+func loopBody(n ast.Node) (*ast.BlockStmt, token.Pos) {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body, l.For
+	case *ast.RangeStmt:
+		return l.Body, l.For
+	}
+	return nil, 0
+}
+
+// consumesTrace reports whether the loop body itself (excluding nested
+// loops and function literals, which own their calls) calls a trace
+// consumer.
+func (a CtxPoll) consumesTrace(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	for _, s := range body.List {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if a.isTraceCall(pkg, x) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// isTraceCall reports whether call resolves to TracePkg's Fill, Next or
+// ReadBatch — as a method (including through the Source/BatchSource
+// interfaces) or a package-level function.
+func (a CtxPoll) isTraceCall(pkg *Package, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = pkg.Info.Uses[fun.Sel] // qualified call: trace.Fill(...)
+		}
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	}
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != a.TracePkg {
+		return false
+	}
+	switch obj.Name() {
+	case "Fill", "Next", "ReadBatch":
+		return true
+	}
+	return false
+}
+
+// pollsCtx reports whether the loop body contains ctx.Err() or
+// ctx.Done() on the given context object, anywhere outside function
+// literals.
+func pollsCtx(pkg *Package, body *ast.BlockStmt, ctxObj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if ok && pkg.Info.Uses[id] == ctxObj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

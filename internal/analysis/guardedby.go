@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// guardedByRe extracts the mutex name from a "// guarded by mu" field
+// comment. The name is the sibling field holding the sync.Mutex or
+// sync.RWMutex.
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// GuardedBy enforces the documented locking discipline of the service
+// layer: a struct field annotated "// guarded by <mu>" may only be read
+// or written while that mutex is lexically held — an X.Lock() (or
+// X.RLock()) earlier in the enclosing statement list, not yet released,
+// or a deferred X.Unlock(). Functions that run entirely under a lock
+// taken by their caller opt out with a //storemlp:locked annotation.
+//
+// The check is lexical, not interprocedural: it catches the bug class
+// the -race detector only finds when the schedule cooperates — a field
+// touched outside its critical section — at compile time, every run.
+type GuardedBy struct{}
+
+// Name implements Analyzer.
+func (GuardedBy) Name() string { return "guardedby" }
+
+// Doc implements Analyzer.
+func (GuardedBy) Doc() string {
+	return `fields annotated "guarded by <mu>" are only accessed with that mutex lexically held`
+}
+
+// guardSet maps "pkgpath.TypeName" -> field name -> mutex field name.
+type guardSet map[string]map[string]string
+
+// Run implements Analyzer.
+func (a GuardedBy) Run(m *Module) []Diagnostic {
+	guards := collectGuards(m)
+	if len(guards) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if commentHasMarker("storemlp:locked", fn.Doc) {
+					continue
+				}
+				w := &guardWalker{m: m, pkg: pkg, guards: guards}
+				w.stmts(fn.Body.List, map[string]bool{})
+				out = append(out, w.out...)
+			}
+		}
+	}
+	return out
+}
+
+// collectGuards scans every struct declaration for guarded-by field
+// annotations.
+func collectGuards(m *Module) guardSet {
+	guards := guardSet{}
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					obj := pkg.Info.Defs[ts.Name]
+					if obj == nil {
+						continue
+					}
+					named := namedOf(obj.Type())
+					if named == nil {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						mu := guardAnnotation(field)
+						if mu == "" {
+							continue
+						}
+						key := typeKey(named)
+						if guards[key] == nil {
+							guards[key] = map[string]string{}
+						}
+						for _, name := range field.Names {
+							guards[key][name.Name] = mu
+						}
+					}
+				}
+			}
+		}
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if match := guardedByRe.FindStringSubmatch(c.Text); match != nil {
+				return match[1]
+			}
+		}
+	}
+	return ""
+}
+
+// guardWalker tracks the lexically held mutexes through one function
+// body. Locks taken at one nesting level are visible to deeper levels
+// (each compound statement walks its children with a copy of the held
+// set), and a lock taken inside a block does not leak past it.
+type guardWalker struct {
+	m      *Module
+	pkg    *Package
+	guards guardSet
+	out    []Diagnostic
+}
+
+func (w *guardWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *guardWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if mu, op := lockCall(st.X); op == lockAcquire {
+			held[mu] = true
+			return
+		} else if op == lockRelease {
+			delete(held, mu)
+			return
+		}
+		w.expr(st.X, held)
+	case *ast.DeferStmt:
+		if _, op := lockCall(st.Call); op == lockRelease {
+			return // deferred unlock: the mutex stays held to function end
+		}
+		w.expr(st.Call, held)
+	case *ast.BlockStmt:
+		w.stmts(st.List, copyHeld(held))
+	case *ast.IfStmt:
+		h := copyHeld(held)
+		if st.Init != nil {
+			w.stmt(st.Init, h)
+		}
+		w.expr(st.Cond, h)
+		w.stmt(st.Body, h)
+		if st.Else != nil {
+			w.stmt(st.Else, h)
+		}
+	case *ast.ForStmt:
+		h := copyHeld(held)
+		if st.Init != nil {
+			w.stmt(st.Init, h)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond, h)
+		}
+		if st.Post != nil {
+			w.stmt(st.Post, h)
+		}
+		w.stmt(st.Body, h)
+	case *ast.RangeStmt:
+		h := copyHeld(held)
+		w.expr(st.X, h)
+		if st.Key != nil {
+			w.expr(st.Key, h)
+		}
+		if st.Value != nil {
+			w.expr(st.Value, h)
+		}
+		w.stmt(st.Body, h)
+	case *ast.SwitchStmt:
+		h := copyHeld(held)
+		if st.Init != nil {
+			w.stmt(st.Init, h)
+		}
+		if st.Tag != nil {
+			w.expr(st.Tag, h)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, h)
+			}
+			w.stmts(cc.Body, copyHeld(h))
+		}
+	case *ast.TypeSwitchStmt:
+		h := copyHeld(held)
+		if st.Init != nil {
+			w.stmt(st.Init, h)
+		}
+		w.stmt(st.Assign, h)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.stmts(cc.Body, copyHeld(h))
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			h := copyHeld(held)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, h)
+			}
+			w.stmts(cc.Body, h)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, held)
+	default:
+		// Simple statements (assign, return, go, send, incdec, decl...):
+		// no nested statements beyond function literals, which expr
+		// handles with a fresh held set.
+		w.exprStmtNode(s, held)
+	}
+}
+
+// expr checks one expression tree for guarded-field accesses.
+func (w *guardWalker) expr(e ast.Expr, held map[string]bool) {
+	w.exprStmtNode(e, held)
+}
+
+func (w *guardWalker) exprStmtNode(n ast.Node, held map[string]bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch x := c.(type) {
+		case *ast.FuncLit:
+			// A literal may run on another goroutine or after the lock
+			// is released: it must take its own locks.
+			w.stmt(x.Body, map[string]bool{})
+			return false
+		case *ast.SelectorExpr:
+			w.checkAccess(x, held)
+		}
+		return true
+	})
+}
+
+// checkAccess reports x.f when f is a guarded field and the guarding
+// mutex (rendered against the same base expression x) is not held.
+func (w *guardWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+	selection, ok := w.pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	named := namedOf(selection.Recv())
+	if named == nil {
+		return
+	}
+	fields := w.guards[typeKey(named)]
+	if fields == nil {
+		return
+	}
+	mu, guarded := fields[sel.Sel.Name]
+	if !guarded {
+		return
+	}
+	required := renderExpr(sel.X) + "." + mu
+	if held[required] {
+		return
+	}
+	w.out = append(w.out, Diagnostic{
+		Pos:  w.m.Fset.Position(sel.Sel.Pos()),
+		Rule: "guardedby",
+		Message: fmt.Sprintf("field %s.%s accessed without holding %s (lock it, or annotate the function //storemlp:locked)",
+			named.Obj().Name(), sel.Sel.Name, required),
+	})
+}
+
+const (
+	lockNone = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockCall classifies e as a mutex acquire/release call and returns the
+// rendered mutex expression ("c.mu").
+func lockCall(e ast.Expr) (string, int) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", lockNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return renderExpr(sel.X), lockAcquire
+	case "Unlock", "RUnlock":
+		return renderExpr(sel.X), lockRelease
+	}
+	return "", lockNone
+}
+
+// renderExpr gives the textual spelling of a mutex/receiver expression
+// chain; anything beyond ident/selector chains renders opaque.
+func renderExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderExpr(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return renderExpr(x.X)
+	case *ast.StarExpr:
+		return renderExpr(x.X)
+	}
+	return "?"
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// HotPath gates the engine's performance contract on the compiler's own
+// diagnostics. Functions annotated //storemlp:noalloc must show no
+// "escapes to heap" / "moved to heap" decision anywhere in their body,
+// and functions annotated //storemlp:inline must be reported "can
+// inline" — both read from `go build -gcflags=-m=2` over the module.
+//
+// This turns the allocation-free step loop and the inlinable fast paths
+// (cache lookup, TLB touch, per-instruction traffic advance, trace
+// refill) from benchmark observations into a CI invariant: a change
+// that makes a hot function allocate, or pushes an inlined fast path
+// over the inlining budget, fails the build instead of shipping a
+// silent regression.
+type HotPath struct{}
+
+// Name implements Analyzer.
+func (HotPath) Name() string { return "hotpath" }
+
+// Doc implements Analyzer.
+func (HotPath) Doc() string {
+	return "//storemlp:noalloc functions must not allocate and //storemlp:inline functions must inline (per -gcflags=-m=2)"
+}
+
+// hotFunc is one annotated function awaiting compiler evidence.
+type hotFunc struct {
+	name      string
+	pos       token.Position // declaration site
+	startLine int
+	endLine   int
+	noalloc   bool
+	inline    bool
+	canInline bool
+	cannot    string // reason from a "cannot inline" diagnostic
+}
+
+// buildDiagRe matches the compiler's primary -m lines; the indented
+// escape-flow detail lines carry no position prefix and fall through.
+var buildDiagRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// Run implements Analyzer.
+func (a HotPath) Run(m *Module) []Diagnostic {
+	byFile := a.collect(m)
+	if len(byFile) == 0 {
+		return nil
+	}
+
+	cmd := exec.Command("go", "build", "-gcflags=-m=2", "./...")
+	cmd.Dir = m.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+
+	var out []Diagnostic
+	sawDiag := false
+	// -m=2 prints each escape decision twice: a detail header with a
+	// trailing colon and the plain -m line. Dedupe on normalized text.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		match := buildDiagRe.FindStringSubmatch(line)
+		if match == nil {
+			continue
+		}
+		sawDiag = true
+		file, msg := match[1], match[4]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(m.Dir, file)
+		}
+		lineNo, _ := strconv.Atoi(match[2])
+		colNo, _ := strconv.Atoi(match[3])
+		funcs := byFile[file]
+
+		switch {
+		case strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap"):
+			key := fmt.Sprintf("%s:%d:%d:%s", file, lineNo, colNo, strings.TrimSuffix(msg, ":"))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			for _, fn := range funcs {
+				if fn.noalloc && lineNo >= fn.startLine && lineNo <= fn.endLine {
+					out = append(out, Diagnostic{
+						Pos:  token.Position{Filename: file, Line: lineNo, Column: colNo},
+						Rule: a.Name(),
+						Message: fmt.Sprintf("//storemlp:noalloc function %s allocates: %s",
+							fn.name, strings.TrimSuffix(msg, ":")),
+					})
+				}
+			}
+		case strings.HasPrefix(msg, "can inline "):
+			for _, fn := range funcs {
+				if fn.inline && lineNo == fn.pos.Line {
+					fn.canInline = true
+				}
+			}
+		case strings.HasPrefix(msg, "cannot inline "):
+			for _, fn := range funcs {
+				if fn.inline && lineNo == fn.pos.Line {
+					fn.cannot = msg
+				}
+			}
+		}
+	}
+
+	if runErr != nil && !sawDiag {
+		// The compiler produced no diagnostics at all: the build itself
+		// is broken, which the other CI stages report in full. Surface a
+		// single loud finding instead of silently passing.
+		return []Diagnostic{{
+			Pos:     token.Position{Filename: filepath.Join(m.Dir, "go.mod"), Line: 1},
+			Rule:    a.Name(),
+			Message: fmt.Sprintf("go build -gcflags=-m=2 failed: %v (fix the build, then re-run)", runErr),
+		}}
+	}
+
+	for _, funcs := range byFile {
+		for _, fn := range funcs {
+			if !fn.inline || fn.canInline {
+				continue
+			}
+			reason := strings.TrimPrefix(fn.cannot, "cannot inline "+fn.name+": ")
+			if reason == "" {
+				reason = "compiler reported no inline decision (diagnostics missing from build output)"
+			}
+			out = append(out, Diagnostic{
+				Pos:  fn.pos,
+				Rule: a.Name(),
+				Message: fmt.Sprintf("//storemlp:inline function %s does not inline: %s",
+					fn.name, reason),
+			})
+		}
+	}
+	return out
+}
+
+// collect gathers the annotated functions, keyed by absolute filename.
+func (a HotPath) collect(m *Module) map[string][]*hotFunc {
+	byFile := map[string][]*hotFunc{}
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				noalloc := commentHasMarker("storemlp:noalloc", fn.Doc)
+				inline := commentHasMarker("storemlp:inline", fn.Doc)
+				if !noalloc && !inline {
+					continue
+				}
+				pos := m.Fset.Position(fn.Name.Pos())
+				byFile[pos.Filename] = append(byFile[pos.Filename], &hotFunc{
+					name:      funcDisplayName(fn),
+					pos:       pos,
+					startLine: m.Fset.Position(fn.Body.Pos()).Line,
+					endLine:   m.Fset.Position(fn.Body.End()).Line,
+					noalloc:   noalloc,
+					inline:    inline,
+				})
+			}
+		}
+	}
+	return byFile
+}
+
+// funcDisplayName renders "(*T).M" for methods and "F" for functions,
+// matching the compiler's own spelling.
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := fn.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fn.Name.Name
+		}
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}

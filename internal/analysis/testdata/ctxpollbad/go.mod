@@ -1,0 +1,3 @@
+module example.com/ctxpollbad
+
+go 1.21

@@ -1,0 +1,36 @@
+// Package run exercises the ctxpoll analyzer: Good polls ctx once per
+// refilled batch, Bad consumes the stream with no cancellation check.
+package run
+
+import (
+	"context"
+
+	"example.com/ctxpollbad/trace"
+)
+
+// Good checks ctx.Err() every batch.
+func Good(ctx context.Context, src trace.Source) (int64, error) {
+	buf := make([]trace.Inst, 64)
+	var n int64
+	for {
+		got := trace.Fill(src, buf)
+		if got == 0 {
+			return n, nil
+		}
+		n += int64(got)
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+	}
+}
+
+// Bad never looks at ctx while draining the source.
+func Bad(ctx context.Context, src trace.Source) int64 {
+	var n int64
+	for {
+		if _, ok := src.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

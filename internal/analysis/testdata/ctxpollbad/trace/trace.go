@@ -1,0 +1,25 @@
+// Package trace is a miniature of the real trace package: the ctxpoll
+// analyzer marks loops calling its Fill/Next/ReadBatch as
+// batch-consuming.
+package trace
+
+// Inst is one instruction.
+type Inst struct{ Op uint8 }
+
+// Source yields instructions one at a time.
+type Source interface {
+	Next() (Inst, bool)
+}
+
+// Fill reads up to len(dst) instructions from src.
+func Fill(src Source, dst []Inst) int {
+	n := 0
+	for ; n < len(dst); n++ {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		dst[n] = in
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module example.com/guardedbad
+
+go 1.21

@@ -1,0 +1,50 @@
+// Package queue exercises the guardedby analyzer: Push/Stats hold the
+// mutex correctly (defer and paired unlock), Bad and Race touch guarded
+// fields outside the critical section, lockedLen opts out via the
+// //storemlp:locked annotation.
+package queue
+
+import "sync"
+
+// Q is a mutex-guarded queue.
+type Q struct {
+	mu    sync.Mutex
+	items []int // guarded by mu
+	hits  int   // guarded by mu
+}
+
+// Push appends under the lock (deferred unlock).
+func (q *Q) Push(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, v)
+}
+
+// Stats reads under a paired Lock/Unlock.
+func (q *Q) Stats() int {
+	q.mu.Lock()
+	n := len(q.items)
+	q.mu.Unlock()
+	return n
+}
+
+// Bad reads items with no lock at all.
+func (q *Q) Bad() int {
+	return len(q.items)
+}
+
+// Race touches hits after the critical section closed.
+func (q *Q) Race() {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.hits++
+}
+
+// lockedLen runs with q.mu held by the caller.
+//
+//storemlp:locked
+func (q *Q) lockedLen() int {
+	return len(q.items)
+}
+
+var _ = (*Q).lockedLen

@@ -1,0 +1,3 @@
+module example.com/hotpathbad
+
+go 1.21

@@ -1,0 +1,33 @@
+// Package hot exercises the hotpath analyzer against real compiler
+// diagnostics: Leaky allocates despite its //storemlp:noalloc claim,
+// Spin is recursive so the inliner rejects its //storemlp:inline claim,
+// and Tiny honours both annotations.
+package hot
+
+// sink forces anything stored in it to escape.
+var sink *int
+
+// Leaky claims to be allocation-free but heap-allocates.
+//
+//storemlp:noalloc
+func Leaky() {
+	sink = new(int)
+}
+
+// Spin claims to be inlinable but is recursive.
+//
+//storemlp:inline
+func Spin(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Spin(n-1) + 1
+}
+
+// Tiny inlines and does not allocate.
+//
+//storemlp:noalloc
+//storemlp:inline
+func Tiny(x int) int {
+	return x + 1
+}

@@ -1,0 +1,3 @@
+module example.com/resetbad
+
+go 1.21

@@ -1,0 +1,48 @@
+// Package pool exercises the resetcomplete analyzer: Buf's Reset
+// forgets a field, Ring demonstrates every accepted coverage form.
+package pool
+
+// Buf is recycled; Reset forgets dirty, which must be diagnosed.
+type Buf struct {
+	data  []byte //storemlp:keep (contents overwritten before every use)
+	n     int
+	dirty bool
+}
+
+// Reset rewinds the buffer but leaves dirty stale.
+func (b *Buf) Reset() {
+	b.n = 0
+}
+
+// Counter resets itself completely.
+type Counter struct {
+	n int
+}
+
+// Reset zeroes the count.
+func (c *Counter) Reset() {
+	c.n = 0
+}
+
+// Ring covers every field: element-wise loop, clear(), a helper method
+// on the same receiver, and a sub-object Reset.
+type Ring struct {
+	buf   []int
+	pos   int
+	stats map[string]int
+	sub   Counter
+}
+
+// Reset returns the ring to its as-constructed state in place.
+func (r *Ring) Reset() {
+	for i := range r.buf {
+		r.buf[i] = 0
+	}
+	clear(r.stats)
+	r.zeroPos()
+	r.sub.Reset()
+}
+
+func (r *Ring) zeroPos() {
+	r.pos = 0
+}

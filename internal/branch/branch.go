@@ -63,15 +63,15 @@ func (s Stats) MispredictRate() float64 {
 
 // Predictor is the gshare + BTB + RAS front end.
 type Predictor struct {
-	cfg      Config
+	cfg      Config  //storemlp:keep (geometry, fixed at construction)
 	counters []uint8 // 2-bit saturating counters
 	history  uint64  // global history register
-	histMask uint64
-	idxMask  uint64
+	histMask uint64  //storemlp:keep
+	idxMask  uint64  //storemlp:keep
 
 	btbTags    []uint64
 	btbTargets []uint64
-	btbMask    uint64
+	btbMask    uint64 //storemlp:keep
 
 	ras    []uint64
 	rasTop int

@@ -83,10 +83,10 @@ type way struct {
 
 // Cache is a set-associative cache with true-LRU replacement.
 type Cache struct {
-	ways      []way // sets*assoc entries, set-major
-	assoc     int
-	lineShift uint
-	setMask   uint64
+	ways      []way  // sets*assoc entries, set-major
+	assoc     int    //storemlp:keep (geometry, fixed at construction)
+	lineShift uint   //storemlp:keep
+	setMask   uint64 //storemlp:keep
 	clock     uint64
 
 	// Stats counts accesses and misses since construction.
@@ -158,6 +158,8 @@ func (c *Cache) Probe(addr uint64) MESI {
 
 // Lookup checks for the line containing addr, updating LRU and access
 // statistics. It returns the line's state (Invalid on miss).
+//
+//storemlp:noalloc
 func (c *Cache) Lookup(addr uint64) MESI {
 	c.Stats.Accesses++
 	tag := addr >> c.lineShift

@@ -11,8 +11,8 @@ type Hierarchy struct {
 	L2  *Cache
 	TLB *Cache // tracks pages; misses are counted but are not epoch events
 
-	pageBytes  int
-	fetchShift uint // copy of L1I.lineShift, keeps Fetch's fast path inlinable
+	pageBytes  int  //storemlp:keep (geometry, fixed at construction)
+	fetchShift uint //storemlp:keep copy of L1I.lineShift, keeps Fetch's fast path inlinable
 
 	// Consecutive-duplicate fast paths. Commercial instruction streams
 	// touch the same L1I line ~16 times in a row and burst stores walk a
@@ -139,8 +139,8 @@ func NewSharedHierarchy(cfg Config, l2 *Cache) *Hierarchy {
 
 // Reset empties every level and zeroes the statistics, returning the
 // hierarchy to its as-constructed state without reallocating. The store
-// fast path is re-enabled; re-attach any shared view (MarkL2Shared)
-// after resetting.
+// fast path is re-enabled and the OnL2Evict hook detached; re-attach any
+// shared view (MarkL2Shared) and re-hook OnL2Evict after resetting.
 func (h *Hierarchy) Reset() {
 	h.L1I.Reset()
 	h.L1D.Reset()
@@ -148,6 +148,7 @@ func (h *Hierarchy) Reset() {
 	h.TLB.Reset()
 	h.l2Shared = false
 	h.clearFastPaths()
+	h.OnL2Evict = nil
 	h.Stats = HierarchyStats{}
 }
 
@@ -162,6 +163,7 @@ func (h *Hierarchy) clearFastPaths() {
 	h.lastFetchLine = noLast
 	h.lastPage = noLast
 	h.lastStoreLine = noLast
+	h.lastStoreL1 = false
 }
 
 // Result describes one access's interaction with the hierarchy.
@@ -180,6 +182,9 @@ func (h *Hierarchy) insertL2(addr uint64, state MESI) {
 
 // touchTLB stays small enough to inline into Load and Store so the
 // same-page repeat costs a shift and a compare, no call.
+//
+//storemlp:noalloc
+//storemlp:inline
 func (h *Hierarchy) touchTLB(addr uint64) {
 	if addr>>h.TLB.lineShift == h.lastPage {
 		// The previous TLB touch was this page, so it is resident and
@@ -201,6 +206,9 @@ func (h *Hierarchy) touchTLBSlow(addr uint64) {
 // wrapper stays small enough to inline into the engine's step so the
 // dominant case — sequential fetch within the line fetched last — costs
 // a shift and a compare, no call.
+//
+//storemlp:noalloc
+//storemlp:inline
 func (h *Hierarchy) Fetch(pc uint64) Result {
 	h.Stats.Fetches++
 	if pc>>h.fetchShift == h.lastFetchLine {

@@ -100,14 +100,14 @@ func (s TrafficSpec) Validate() error {
 // Traffic generates the snoop stream from remote nodes. It is advanced
 // in local-instruction time by the epoch engine.
 type Traffic struct {
-	spec    TrafficSpec
-	nodes   int
-	seed    int64
+	spec    TrafficSpec //storemlp:keep (calibration, fixed at construction)
+	nodes   int         //storemlp:keep
+	seed    int64       //storemlp:keep (Reset replays the same seed)
 	rng     *rand.Rand
-	handler Handler
+	handler Handler //storemlp:keep (re-wired by the engine, not per run)
 	acc     float64
-	perInst float64 // events accrued per instruction; 0 disables
-	lineMsk uint64
+	perInst float64 //storemlp:keep events accrued per instruction; 0 disables
+	lineMsk uint64  //storemlp:keep
 
 	// Delivered counts snoops emitted so far.
 	Delivered int64
@@ -153,6 +153,8 @@ func (t *Traffic) Nodes() int { return t.nodes }
 
 // Advance accounts for n locally executed instructions and delivers any
 // remote snoops that fall due.
+//
+//storemlp:noalloc
 func (t *Traffic) Advance(n int64) {
 	if t == nil || t.perInst <= 0 {
 		return
@@ -163,6 +165,27 @@ func (t *Traffic) Advance(n int64) {
 	}
 }
 
+// AdvanceOne is Advance(1) without the scaling multiply: the epoch
+// engine's per-instruction call, small enough to inline into the step
+// loop so the common no-snoop-due case costs an add and a compare.
+//
+//storemlp:noalloc
+//storemlp:inline
+func (t *Traffic) AdvanceOne() {
+	if t == nil || t.perInst <= 0 {
+		return
+	}
+	t.acc += t.perInst
+	if t.acc >= 1 {
+		t.drain()
+	}
+}
+
+// drain delivers every due snoop. Kept out of Advance's inlined body:
+// snoops are rare (a handful per kilo-instruction), so Advance's
+// per-instruction cost must stay a multiply-add and a compare.
+//
+//go:noinline
 func (t *Traffic) drain() {
 	for t.acc >= 1 {
 		t.acc--

@@ -116,8 +116,8 @@ type Engine struct {
 	winHi   int64
 
 	// batch is the reused block buffer RunContext fills from the trace
-	// source.
-	batch []isa.Inst
+	// source; its contents are overwritten before every read.
+	batch []isa.Inst //storemlp:keep
 
 	// Baselines snapshotted when measurement starts so warmup and
 	// prewarming are excluded from substrate statistics.
@@ -548,6 +548,12 @@ func (e *Engine) addrReadyBy(in isa.Inst, ep int64) bool {
 	return e.regReady[in.Src1] <= ep && e.regReady[in.Src2] <= ep
 }
 
+// step advances the model by one instruction. It runs half a billion
+// times per Figure-2 point, so it must stay allocation-free: every
+// structure it touches (rings, occupancy queues, the record window,
+// the hierarchy fast paths) works in place.
+//
+//storemlp:noalloc
 func (e *Engine) step(in isa.Inst) {
 	idx := e.idx
 	e.idx++
@@ -556,7 +562,7 @@ func (e *Engine) step(in isa.Inst) {
 		e.snapshotBaselines()
 	}
 	if e.traf != nil {
-		e.traf.Advance(1)
+		e.traf.AdvanceOne()
 	}
 	if e.bgSrc != nil {
 		e.stepSharedCore()

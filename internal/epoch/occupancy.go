@@ -55,10 +55,10 @@ func (r *ring) reset() {
 // where a heap pays two O(log cap) sifts per instruction.
 type occupancy struct {
 	cnt  []int32 // occupied-entry counts per epoch, ring-indexed
-	mask int64
-	base int64 // lowest epoch that may hold entries; slots below are zero
-	n    int   // total entries
-	cap  int   // <= 0 means unbounded
+	mask int64   //storemlp:keep (ring geometry)
+	base int64   // lowest epoch that may hold entries; slots below are zero
+	n    int     // total entries
+	cap  int     //storemlp:keep <= 0 means unbounded
 }
 
 const initialOccLen = 256

@@ -12,11 +12,11 @@ import (
 // map lookup.
 type lruCache struct {
 	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	max   int                      // immutable after construction
+	ll    *list.List               // guarded by mu; front = most recently used
+	items map[string]*list.Element // guarded by mu
 
-	evictions int64
+	evictions int64 // guarded by mu
 }
 
 type lruEntry struct {

@@ -44,10 +44,10 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Histogram observes float64 samples into cumulative buckets.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []float64 // upper bounds, ascending; +Inf implied
-	counts []int64   // len(bounds)+1
-	sum    float64
-	count  int64
+	bounds []float64 // guarded by mu; upper bounds, ascending; +Inf implied
+	counts []int64   // guarded by mu; len(bounds)+1
+	sum    float64   // guarded by mu
+	count  int64     // guarded by mu
 }
 
 // Observe records one sample.
@@ -93,11 +93,11 @@ type metric struct {
 // Prometheus text exposition format.
 type Metrics struct {
 	mu      sync.Mutex
-	metrics []*metric
-	byKey   map[string]*metric
+	metrics []*metric          // guarded by mu
+	byKey   map[string]*metric // guarded by mu
 	// onScrape hooks run before each render, for gauges derived from
 	// ambient state (uptime, cache size).
-	onScrape []func()
+	onScrape []func() // guarded by mu
 }
 
 // NewMetrics returns an empty registry.

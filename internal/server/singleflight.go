@@ -18,7 +18,7 @@ import (
 type flightGroup struct {
 	base  context.Context // server lifetime; cancelling it aborts everything
 	mu    sync.Mutex
-	calls map[string]*flightCall
+	calls map[string]*flightCall // guarded by mu
 }
 
 type flightCall struct {

@@ -17,7 +17,7 @@ import (
 // is ready to use; Pool is safe for concurrent use.
 type Pool struct {
 	mu   sync.Mutex
-	free []*epoch.Engine
+	free []*epoch.Engine // guarded by mu
 }
 
 // NewPool returns an empty engine pool.

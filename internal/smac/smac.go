@@ -104,13 +104,13 @@ func (s Stats) Add(o Stats) Stats {
 // "no SMAC": probes always miss and recording is a no-op, so the epoch
 // engine can hold one unconditionally.
 type SMAC struct {
-	params     Params
+	params     Params  //storemlp:keep (geometry, fixed at construction)
 	sets       []entry // sets*ways, set-major
-	ways       int
-	superShift uint
-	subShift   uint
-	subMask    uint64
-	setMask    uint64
+	ways       int     //storemlp:keep
+	superShift uint    //storemlp:keep
+	subShift   uint    //storemlp:keep
+	subMask    uint64  //storemlp:keep
+	setMask    uint64  //storemlp:keep
 	clock      uint64
 
 	Stats Stats

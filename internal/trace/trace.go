@@ -55,6 +55,8 @@ type Sized interface {
 // means end of stream (Fill keeps pulling until dst is full or the
 // stream ends, so short reads from underlying batch sources are
 // absorbed here).
+//
+//storemlp:noalloc
 func Fill(src Source, dst []isa.Inst) int {
 	if bs, ok := src.(BatchSource); ok {
 		n := 0
@@ -90,7 +92,7 @@ type Replayable interface {
 // Slice is an in-memory trace. It implements Replayable, BatchSource
 // and Sized.
 type Slice struct {
-	Insts []isa.Inst
+	Insts []isa.Inst //storemlp:keep (the trace itself; Reset rewinds, it does not erase)
 	pos   int
 }
 

@@ -12,7 +12,7 @@ import (
 // beginning of the identical stream, which is how every
 // multi-configuration figure feeds the same trace to each configuration.
 type Generator struct {
-	p   Params
+	p   Params //storemlp:keep (calibration; Reset rewinds the stream, it does not recalibrate)
 	rng *rand.Rand
 
 	// Emission queue for multi-instruction groups (critical sections,
@@ -87,12 +87,17 @@ func (g *Generator) Reset() {
 	g.queue = g.queue[:0]
 	g.qHead = 0
 	g.pc = g.p.AddrOffset + hotCodeBase
+	g.coldPC = 0
 	g.coldLeft = 0
 	g.storeBurstLeft = 0
+	g.storeBurstAddr = 0
+	g.storeBurstShrd = false
 	g.loadBurstLeft = 0
+	g.loadBurstAddr = 0
 	g.lastLoadDst = 0
 	g.lastMissDst = 0
 	g.regRR = 0
+	g.altBranch = false
 
 	g.pStore = p.StorePer100 / 100
 	g.pLoad = p.LoadPer100 / 100

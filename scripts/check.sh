@@ -12,8 +12,21 @@ go build ./...
 echo '>> go vet ./...'
 go vet ./...
 
-echo '>> storemlpvet ./...'
-go run ./cmd/storemlpvet ./...
+echo '>> storemlpvet ./... (-json)'
+# The -json contract is part of the gate: a clean run exits 0 AND emits
+# an empty array. Findings (exit 1) or a load error (exit 2) fail here;
+# hotpath consults go build -gcflags=-m=2, so this also gates the
+# allocation-free/inlining claims of the hot paths.
+vet_out=$(go run ./cmd/storemlpvet -json ./...) || {
+    echo "$vet_out"
+    echo 'storemlpvet: findings reported'
+    exit 1
+}
+[ "$vet_out" = "[]" ] || {
+    echo "$vet_out"
+    echo 'storemlpvet: non-empty JSON despite clean exit'
+    exit 1
+}
 
 echo '>> go test -race ./...'
 go test -race "$@" ./...
