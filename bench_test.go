@@ -7,10 +7,12 @@ package storemlp
 // Headline results are attached as custom benchmark metrics.
 
 import (
+	"context"
 	"testing"
 
 	"storemlp/internal/epoch"
 	"storemlp/internal/experiments"
+	"storemlp/internal/obs"
 	"storemlp/internal/sim"
 	"storemlp/internal/trace"
 	"storemlp/internal/uarch"
@@ -227,6 +229,27 @@ func BenchmarkEngine(b *testing.B) {
 	b.SetBytes(n)
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(RunSpec{Workload: w, Config: DefaultConfig(), Insts: n, Warm: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineTraced is BenchmarkEngine with the observability
+// sinks attached: a live run tracer (16Ki-event ring) and a progress
+// board, exactly as mlpsimd runs them. The delta against
+// BenchmarkEngine is the cost of *enabled* tracing; a disabled (nil)
+// tracer costs only a nil check and is proven allocation-free by
+// TestStepZeroAllocTracerDisabled in internal/epoch.
+func BenchmarkEngineTraced(b *testing.B) {
+	const n = 500_000
+	w := workload.Database(1)
+	ctx := obs.NewContext(context.Background(), &obs.Obs{
+		Tracer: obs.NewTracer(1 << 14),
+		Board:  obs.NewBoard(),
+	})
+	b.SetBytes(n)
+	for i := 0; i < b.N; i++ {
+		if _, err := RunContext(ctx, RunSpec{Workload: w, Config: DefaultConfig(), Insts: n, Warm: 0}); err != nil {
 			b.Fatal(err)
 		}
 	}

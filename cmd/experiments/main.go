@@ -23,7 +23,11 @@ import (
 	"time"
 
 	"storemlp/internal/experiments"
+	"storemlp/internal/obs"
 )
+
+// stderr receives the -progress ticker; tests substitute a buffer.
+var stderr io.Writer = os.Stderr
 
 func main() {
 	// A full harness run takes minutes; SIGINT cancels the sweep context
@@ -119,9 +123,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 1, "workload seed")
 		parallel = fs.Int("parallel", 0, "concurrent runs (0 = NumCPU)")
 		csvDir   = fs.String("csv", "", "also write raw results as CSV files into this directory")
+		progress = fs.Bool("progress", false, "live one-line progress ticker on stderr (active runs, insts/s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *progress {
+		// Every sweep run inherits Config.Ctx, so one board observes the
+		// whole harness: the ticker shows the active run set live.
+		board := obs.NewBoard()
+		ctx = obs.NewContext(ctx, &obs.Obs{Board: board})
+		stopTicker := obs.StartTicker(stderr, board, 250*time.Millisecond)
+		defer stopTicker()
 	}
 
 	cfg := experiments.Config{Seed: *seed, Insts: *insts, Warm: *warm, Parallelism: *parallel, Ctx: ctx}

@@ -60,3 +60,25 @@ func TestCSVExport(t *testing.T) {
 		t.Errorf("csv content:\n%s", data)
 	}
 }
+
+func TestRunProgressTicker(t *testing.T) {
+	// -progress attaches one board to the whole harness via the context;
+	// the run must succeed unchanged with the ticker active.
+	var out, errBuf strings.Builder
+	old := stderr
+	stderr = &errBuf
+	defer func() { stderr = old }()
+
+	err := run(context.Background(), []string{
+		"-run", "table1", "-insts", "60000", "-warm", "30000", "-progress",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Errorf("output missing Table 1:\n%s", out.String())
+	}
+	if got := errBuf.String(); got != "" && !strings.Contains(got, "progress:") {
+		t.Errorf("ticker wrote something that is not a progress line: %q", got)
+	}
+}

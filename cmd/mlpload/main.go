@@ -8,13 +8,19 @@
 //     coalescing path, where repeats become map lookups.
 //
 // The speedup ratio between the phases is the serving layer's win on
-// repeated sweeps. -json writes the measurements as a benchmark record
-// (scripts/bench.sh stores it as BENCH_serve.json).
+// repeated sweeps. Per-request latencies stream into a fixed-bucket
+// histogram (internal/obs) from which the reported p50/p95/p99 are
+// estimated; -json writes the measurements as a benchmark record
+// (scripts/bench.sh stores it as BENCH_serve.json). -scrape
+// additionally validates the daemon's /metrics output against the
+// Prometheus text exposition grammar and checks the /debug/obs/trace
+// export.
 //
 // Examples:
 //
 //	mlpload -addr http://127.0.0.1:7743
 //	mlpload -addr http://127.0.0.1:7743 -repeat 5 -concurrency 16 -json BENCH_serve.json
+//	mlpload -addr http://127.0.0.1:7743 -mode warm -scrape
 package main
 
 import (
@@ -27,12 +33,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"storemlp/internal/obs"
 	"storemlp/internal/server"
 )
 
@@ -97,19 +103,19 @@ type benchRecord struct {
 	Speedup     float64    `json:"speedup"`
 }
 
-func percentileMS(sorted []time.Duration, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return float64(sorted[i].Microseconds()) / 1000
-}
+// latencyBuckets spans 0.2ms (cache hits) through ~26s (deep cold
+// simulations) in x1.4 steps — fine enough for ~15% quantile error,
+// constant memory regardless of request count.
+var latencyBuckets = obs.ExpBuckets(0.0002, 1.4, 36)
 
 // firePhase posts every request through a bounded worker pool and
-// aggregates latency/throughput.
+// aggregates latency/throughput. Latencies stream into a fixed-bucket
+// histogram, so memory stays constant however long the phase runs and
+// the percentiles come from the same estimator Prometheus would apply
+// to the server's own histogram.
 func firePhase(ctx context.Context, client *http.Client, url string, reqs []server.RunRequest, concurrency int) (phaseStats, error) {
 	jobs := make(chan []byte)
-	lats := make([]time.Duration, 0, len(reqs))
+	hist := obs.NewHistogram(latencyBuckets)
 	var st phaseStats
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -123,6 +129,9 @@ func firePhase(ctx context.Context, client *http.Client, url string, reqs []serv
 				t0 := time.Now()
 				resp, err := post(ctx, client, url, body)
 				lat := time.Since(t0)
+				if err == nil {
+					hist.Observe(lat.Seconds())
+				}
 				mu.Lock()
 				if err != nil {
 					st.Errors++
@@ -130,7 +139,6 @@ func firePhase(ctx context.Context, client *http.Client, url string, reqs []serv
 						firstErr = err
 					}
 				} else {
-					lats = append(lats, lat)
 					if resp.Cached {
 						st.Cached++
 					}
@@ -169,14 +177,13 @@ drain:
 		return st, firstErr
 	}
 
-	st.Requests = len(lats)
+	st.Requests = int(hist.Count())
 	if st.ElapsedS > 0 {
 		st.Throughput = float64(st.Requests) / st.ElapsedS
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	st.P50MS = percentileMS(lats, 0.50)
-	st.P95MS = percentileMS(lats, 0.95)
-	st.P99MS = percentileMS(lats, 0.99)
+	st.P50MS = hist.Quantile(0.50) * 1000
+	st.P95MS = hist.Quantile(0.95) * 1000
+	st.P99MS = hist.Quantile(0.99) * 1000
 	return st, nil
 }
 
@@ -205,6 +212,48 @@ func post(ctx context.Context, client *http.Client, url string, body []byte) (*s
 	return &rr, nil
 }
 
+// scrapeCheck validates the daemon's observability surface after the
+// load phases: /metrics must parse cleanly under the Prometheus text
+// exposition grammar and /debug/obs/trace must serve valid Chrome
+// trace JSON, non-empty when this invocation generated traffic.
+func scrapeCheck(ctx context.Context, client *http.Client, base string, wantTraffic bool, stdout io.Writer) error {
+	get := func(path string) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return client.Do(req)
+	}
+
+	resp, err := get("/metrics")
+	if err != nil {
+		return fmt.Errorf("GET /metrics: %w", err)
+	}
+	fams, err := obs.ValidateExposition(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("/metrics violates the exposition grammar: %w", err)
+	}
+
+	resp, err = get("/debug/obs/trace")
+	if err != nil {
+		return fmt.Errorf("GET /debug/obs/trace: %w", err)
+	}
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&tr)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("/debug/obs/trace is not valid trace JSON: %w", err)
+	}
+	if wantTraffic && len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("/debug/obs/trace is empty after generating traffic")
+	}
+	fmt.Fprintf(stdout, "scrape: %d metric families OK, %d trace events\n", len(fams), len(tr.TraceEvents))
+	return nil
+}
+
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mlpload", flag.ContinueOnError)
 	var (
@@ -217,6 +266,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		mode        = fs.String("mode", "both", "phases to run: cold, warm, or both")
 		jsonPath    = fs.String("json", "", "write measurements to this file (benchmark record)")
 		reqTimeout  = fs.Duration("timeout", 5*time.Minute, "per-request timeout")
+		scrape      = fs.Bool("scrape", false, "after the load phases, validate /metrics against the exposition grammar and the /debug/obs/trace export")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -299,6 +349,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if rec.Cold.Throughput > 0 && rec.WarmPhase.Throughput > 0 {
 		rec.Speedup = rec.WarmPhase.Throughput / rec.Cold.Throughput
 		fmt.Fprintf(stdout, "warm/cold speedup: %.1fx\n", rec.Speedup)
+	}
+
+	if *scrape {
+		wantTraffic := rec.Cold.Requests+rec.WarmPhase.Requests > 0
+		if err := scrapeCheck(ctx, client, strings.TrimRight(*addr, "/"), wantTraffic, stdout); err != nil {
+			return err
+		}
 	}
 
 	if *jsonPath != "" {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"storemlp/internal/epoch"
+	"storemlp/internal/obs"
 	"storemlp/internal/server"
 	"storemlp/internal/sim"
 
@@ -139,15 +140,51 @@ func TestLoadFlagValidation(t *testing.T) {
 	}
 }
 
-func TestPercentile(t *testing.T) {
-	lats := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 4 * time.Millisecond}
-	if p := percentileMS(lats, 0.0); p != 1 {
-		t.Errorf("p0 = %v", p)
+// TestLatencyHistogram checks the streaming estimator the phases use:
+// percentiles come out ordered and within one bucket of the truth.
+func TestLatencyHistogram(t *testing.T) {
+	h := obs.NewHistogram(latencyBuckets)
+	// 90 fast requests at ~1ms, 10 slow at ~100ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.001)
 	}
-	if p := percentileMS(lats, 1.0); p != 4 {
-		t.Errorf("p100 = %v", p)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.100)
 	}
-	if p := percentileMS(nil, 0.5); p != 0 {
-		t.Errorf("empty percentile = %v", p)
+	p50 := h.Quantile(0.50) * 1000
+	p95 := h.Quantile(0.95) * 1000
+	p99 := h.Quantile(0.99) * 1000
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles unordered: p50=%.3f p95=%.3f p99=%.3f", p50, p95, p99)
+	}
+	if p50 < 0.5 || p50 > 2 {
+		t.Errorf("p50 = %.3fms, want ~1ms", p50)
+	}
+	if p99 < 50 || p99 > 200 {
+		t.Errorf("p99 = %.3fms, want ~100ms", p99)
+	}
+	if obs.NewHistogram(latencyBuckets).Quantile(0.5) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+}
+
+// TestScrapeMode: -scrape validates the daemon's /metrics exposition
+// and trace export after the load phases.
+func TestScrapeMode(t *testing.T) {
+	ts, _ := stubService(t, 0)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", ts.URL,
+		"-workloads", "database",
+		"-insts", "1000", "-warm", "0",
+		"-concurrency", "2", "-repeat", "1",
+		"-mode", "warm",
+		"-scrape",
+	}, &out)
+	if err != nil {
+		t.Fatalf("mlpload -scrape: %v (output %s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "metric families OK") {
+		t.Errorf("output missing scrape summary:\n%s", out.String())
 	}
 }

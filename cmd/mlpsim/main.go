@@ -21,9 +21,14 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"storemlp"
+	"storemlp/internal/obs"
 )
+
+// stderr receives the -progress ticker; tests substitute a buffer.
+var stderr io.Writer = os.Stderr
 
 func main() {
 	// Ctrl-C cancels the simulation context: the engine's instruction
@@ -65,10 +70,20 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		perfect      = fs.Bool("perfect", false, "stores never stall (perfect-stores baseline)")
 		bpred        = fs.Bool("bpred", false, "model the gshare+BTB front end instead of calibrated mispredict flags")
 		cycle        = fs.Bool("cycle", false, "also run the cycle-level validator and report overlap/overall CPI")
+		progress     = fs.Bool("progress", false, "live one-line progress ticker on stderr (insts, insts/s, running MLP)")
 		verbose      = fs.Bool("v", false, "print the full statistics dump")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *progress {
+		// The engine publishes live counters into the board via the
+		// context; the ticker rewrites one stderr line from them.
+		board := obs.NewBoard()
+		ctx = obs.NewContext(ctx, &obs.Obs{Board: board})
+		stopTicker := obs.StartTicker(stderr, board, 250*time.Millisecond)
+		defer stopTicker()
 	}
 
 	cfg := storemlp.DefaultConfig()

@@ -99,3 +99,60 @@ func TestRunModelledPredictor(t *testing.T) {
 		t.Errorf("output: %s", out.String())
 	}
 }
+
+func TestRunProgressTicker(t *testing.T) {
+	// -progress routes a live ticker to stderr; substitute a buffer and
+	// check the run still succeeds and the ticker line appeared. The
+	// ticker fires every 250ms, so give the run enough instructions to
+	// cross at least one tick on slow machines — but tolerate a fast
+	// run that finishes before the first tick (blank output is legal).
+	var out, errBuf strings.Builder
+	old := stderr
+	stderr = &errBuf
+	defer func() { stderr = old }()
+
+	err := run(context.Background(), []string{
+		"-workload", "tpcw", "-insts", "400000", "-warm", "100000", "-progress",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "EPI") {
+		t.Errorf("run output missing stats:\n%s", out.String())
+	}
+	if got := errBuf.String(); got != "" && !strings.Contains(got, "progress:") {
+		t.Errorf("ticker wrote something that is not a progress line: %q", got)
+	}
+}
+
+func TestRunProgressTraceFile(t *testing.T) {
+	// The -trace path goes through RunTraceContext, which attaches the
+	// board via sim.Observe: -progress must not perturb the run.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := storemlp.WorkloadByName("database", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storemlp.WriteTrace(f, w, storemlp.DefaultConfig(), 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errBuf strings.Builder
+	old := stderr
+	stderr = &errBuf
+	defer func() { stderr = old }()
+	if err := run(context.Background(), []string{"-trace", path, "-warm", "10000", "-progress"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "EPI") {
+		t.Errorf("trace run output missing stats:\n%s", out.String())
+	}
+}

@@ -7,15 +7,19 @@
 //
 // Endpoints:
 //
-//	POST /v1/run    one simulation point
-//	POST /v1/sweep  many points, deduplicated and pool-bounded
-//	GET  /healthz   liveness + pool/cache summary
-//	GET  /metrics   Prometheus text exposition
+//	POST /v1/run          one simulation point
+//	POST /v1/sweep        many points, deduplicated and pool-bounded
+//	GET  /healthz         liveness + pool/cache summary
+//	GET  /metrics         Prometheus text exposition
+//	GET  /debug/obs/trace run tracer as Chrome trace_event JSON
+//	GET  /debug/obs/runs  live engine progress snapshots
+//	GET  /debug/obs/vars  the metrics registry as JSON
 //
 // Examples:
 //
 //	mlpsimd -addr :7743
 //	mlpsimd -addr 127.0.0.1:0 -workers 8 -cache 1024 -log json
+//	mlpsimd -addr :7743 -trace-out run.trace.json
 //	curl -s localhost:7743/v1/run -d '{"workload":"tpcw","insts":500000}'
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the listener closes, in-
@@ -67,6 +71,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		logFmt  = fs.String("log", "text", "log format: text or json")
 		verbose = fs.Bool("v", false, "debug logging (includes healthz/metrics probes)")
 		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling; leave off in production)")
+		trcCap  = fs.Int("trace-events", 0, "run-tracer ring capacity (0 = default 16384, negative disables tracing)")
+		trcOut  = fs.String("trace-out", "", "write the tracer's Chrome trace_event JSON to this file on graceful shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +99,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxInsts:       *maxI,
 		DefaultTimeout: *reqTO,
 		Logger:         log,
+		TraceEvents:    *trcCap,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -145,6 +152,27 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if shutErr != nil {
 		log.Warn("drain budget exceeded; aborted remaining simulations")
 	}
+	if *trcOut != "" {
+		if err := dumpTrace(svc, *trcOut); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		log.Info("trace written", "path", *trcOut)
+	}
 	fmt.Fprintln(stdout, "mlpsimd stopped")
 	return nil
+}
+
+// dumpTrace writes the service tracer's retained events as Chrome
+// trace_event JSON (load it in chrome://tracing or Perfetto). A
+// disabled tracer writes a valid empty trace.
+func dumpTrace(svc *server.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := svc.Tracer().WriteChrome(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -190,5 +192,83 @@ func TestDaemonFlagValidation(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &out); err == nil {
 		t.Error("bad -addr should fail")
+	}
+}
+
+// TestDaemonTraceOut: -trace-out dumps the run tracer as Chrome
+// trace_event JSON at graceful shutdown, and the same data is live on
+// /debug/obs/trace while serving.
+func TestDaemonTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace.json")
+	base, shutdown := startDaemon(t, "-trace-out", path)
+
+	body := `{"workload":"database","insts":60000,"warm":30000}`
+	resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d", resp.StatusCode)
+	}
+
+	// The live endpoint already carries the run's engine spans.
+	resp, err = http.Get(base + "/debug/obs/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&live); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	names := map[string]bool{}
+	for _, ev := range live.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"parse", "simulate", "batch", "fold"} {
+		if !names[want] {
+			t.Errorf("/debug/obs/trace missing %q span (have %v)", want, names)
+		}
+	}
+
+	// And /debug/obs/runs shows the finished run in its totals.
+	resp, err = http.Get(base + "/debug/obs/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs struct {
+		Totals struct {
+			FinishedRuns int64 `json:"finished_runs"`
+		} `json:"totals"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&runs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if runs.Totals.FinishedRuns < 1 {
+		t.Errorf("finished_runs = %d, want >= 1", runs.Totals.FinishedRuns)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var dumped struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &dumped); err != nil {
+		t.Fatalf("trace file is not valid trace_event JSON: %v", err)
+	}
+	if len(dumped.TraceEvents) == 0 {
+		t.Error("trace file has no events")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"storemlp/internal/coherence"
 	"storemlp/internal/consistency"
 	"storemlp/internal/isa"
+	"storemlp/internal/obs"
 	"storemlp/internal/smac"
 	"storemlp/internal/trace"
 	"storemlp/internal/uarch"
@@ -124,6 +125,15 @@ type Engine struct {
 	hierBase  cache.HierarchyStats
 	smacBase  smac.Stats
 	snoopBase int64
+
+	// Observability sinks attached for the duration of one run: the run
+	// tracer records batch/fold spans under trcRun, and the progress
+	// publisher receives live counters once per batch. Both are nil when
+	// disabled — the hot paths pay one pointer check. Reconfigure
+	// detaches them; SetObs (via sim.Observe) re-attaches per run.
+	trc    *obs.Tracer
+	trcRun uint32
+	prog   *obs.Progress
 
 	stats Stats
 }
@@ -236,6 +246,7 @@ func (e *Engine) Reconfigure(cfg uarch.Config, opts ...Option) error {
 	e.hierBase = cache.HierarchyStats{}
 	e.smacBase = smac.Stats{}
 	e.snoopBase = 0
+	e.trc, e.trcRun, e.prog = nil, 0, nil
 	e.stats = Stats{}
 
 	if cfg.ModelBranchPredictor {
@@ -331,9 +342,17 @@ func (e *Engine) RunContext(ctx context.Context, src trace.Source) (*Stats, erro
 	if e.batch == nil {
 		e.batch = make([]isa.Inst, batchLen)
 	}
+	var runStart int64
+	if e.trc != nil {
+		runStart = obs.Now()
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		var batchStart int64
+		if e.trc != nil {
+			batchStart = obs.Now()
 		}
 		n := trace.Fill(src, e.batch)
 		if n == 0 {
@@ -342,9 +361,45 @@ func (e *Engine) RunContext(ctx context.Context, src trace.Source) (*Stats, erro
 		for i := 0; i < n; i++ {
 			e.step(e.batch[i])
 		}
+		if e.trc != nil {
+			e.trc.Complete(obs.EvBatch, e.trcRun, batchStart, int64(n))
+		}
+		e.publishProgress()
+	}
+	var foldStart int64
+	if e.trc != nil {
+		foldStart = obs.Now()
 	}
 	e.finalize()
+	e.publishProgress()
+	if e.trc != nil {
+		e.trc.Complete(obs.EvFold, e.trcRun, foldStart, e.stats.Epochs)
+		e.trc.Complete(obs.EvSimulate, e.trcRun, runStart, e.stats.Insts)
+	}
 	return &e.stats, nil
+}
+
+// SetObs attaches observability sinks for the next run: tracer events
+// are recorded under run, and live counters flow to prog once per
+// instruction batch. Any argument may be nil/zero to disable that
+// sink; Reconfigure detaches everything.
+func (e *Engine) SetObs(trc *obs.Tracer, run uint32, prog *obs.Progress) {
+	e.trc, e.trcRun, e.prog = trc, run, prog
+}
+
+// publishProgress pushes the live counters to the attached progress
+// sink: instructions stepped, measured instructions, and the epochs
+// and misses folded out of the window so far. Called once per batch
+// and once after finalize, so the cost amortizes to noise — and to
+// exactly one branch when no sink is attached.
+//
+//storemlp:noalloc
+func (e *Engine) publishProgress() {
+	if e.prog == nil {
+		return
+	}
+	e.prog.Publish(e.idx, e.stats.Insts, e.stats.Epochs,
+		e.stats.LoadMisses+e.stats.InstMisses, e.stats.StoreMisses)
 }
 
 func maxi(a, b int64) int64 {
@@ -417,6 +472,9 @@ func (e *Engine) growWin() {
 	}
 	e.win = next
 	e.winMask = mask
+	if e.trc != nil {
+		e.trc.Point(obs.EvWindowGrow, e.trcRun, int64(len(e.win)))
+	}
 }
 
 // winRec returns the record for epoch ep, sliding the window forward as
@@ -868,6 +926,9 @@ func (e *Engine) snapshotBaselines() {
 	}
 	if e.traf != nil {
 		e.snoopBase = e.traf.Delivered
+	}
+	if e.trc != nil {
+		e.trc.Point(obs.EvMeasureStart, e.trcRun, e.idx)
 	}
 }
 

@@ -1,0 +1,127 @@
+package epoch
+
+import (
+	"reflect"
+	"testing"
+
+	"storemlp/internal/obs"
+	"storemlp/internal/trace"
+)
+
+// TestStepZeroAllocTracerDisabled is the observability half of the
+// allocation contract: with no tracer or progress sink attached (the
+// default), the steady-state step loop allocates nothing at all — the
+// nil checks on the obs fast path are free. Unlike the budgeted
+// TestRunContextAllocationFree, this reuses the trace source, so the
+// bound is exactly zero.
+func TestStepZeroAllocTracerDisabled(t *testing.T) {
+	cfg := exCfg()
+	cfg.SMACEntries = 8 << 10
+	src := trace.NewSlice(mixTrace(17, 50_000))
+
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Warm run: grows every structure to steady state.
+	if _, err := e.Run(src); err != nil {
+		t.Fatalf("warm Run: %v", err)
+	}
+
+	allocs := testing.AllocsPerRun(5, func() {
+		src.Reset()
+		if _, err := e.Run(src); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled-tracer steady-state run allocated %.0f objects, want exactly 0", allocs)
+	}
+}
+
+// TestRunObsEquivalence checks that attaching a tracer and a progress
+// sink perturbs nothing: statistics are bit-identical to an untraced
+// run, the tracer records the expected phase events, and the progress
+// snapshot ends at the run's true totals.
+func TestRunObsEquivalence(t *testing.T) {
+	cfg := exCfg()
+	insts := mixTrace(23, 30_000)
+
+	base, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	want, err := base.Run(trace.NewSlice(insts))
+	if err != nil {
+		t.Fatalf("untraced Run: %v", err)
+	}
+
+	tr := obs.NewTracer(1 << 10)
+	board := obs.NewBoard()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p := board.Start("obs test", int64(len(insts)))
+	e.SetObs(tr, tr.NewRun(), p)
+	got, err := e.Run(trace.NewSlice(insts))
+	if err != nil {
+		t.Fatalf("traced Run: %v", err)
+	}
+	board.Finish(p)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("traced run diverged from untraced run:\nwant %+v\ngot  %+v", want, got)
+	}
+
+	kinds := map[obs.EventKind]int{}
+	for _, ev := range tr.Snapshot() {
+		kinds[ev.Kind]++
+	}
+	if kinds[obs.EvBatch] == 0 || kinds[obs.EvSimulate] != 1 || kinds[obs.EvFold] != 1 {
+		t.Errorf("phase events = %v, want batches plus one simulate and one fold", kinds)
+	}
+
+	s := p.Snapshot()
+	if s.Insts != int64(len(insts)) {
+		t.Errorf("progress insts = %d, want %d", s.Insts, len(insts))
+	}
+	if s.Measured != got.Insts || s.Epochs != got.Epochs {
+		t.Errorf("progress (measured %d, epochs %d) != stats (%d, %d)",
+			s.Measured, s.Epochs, got.Insts, got.Epochs)
+	}
+	if !s.Done {
+		t.Error("finished run not marked done")
+	}
+}
+
+// TestReconfigureDetachesObs: recycled engines must never leak a
+// previous request's sinks (the resetcomplete contract, behaviorally).
+func TestReconfigureDetachesObs(t *testing.T) {
+	cfg := exCfg()
+	insts := mixTrace(29, 10_000)
+	tr := obs.NewTracer(64)
+
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	e.SetObs(tr, tr.NewRun(), nil)
+	if _, err := e.Run(trace.NewSlice(insts)); err != nil {
+		t.Fatalf("traced Run: %v", err)
+	}
+	if tr.Total() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+
+	if err := e.Reconfigure(cfg); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	before := tr.Total()
+	if _, err := e.Run(trace.NewSlice(insts)); err != nil {
+		t.Fatalf("post-Reconfigure Run: %v", err)
+	}
+	if tr.Total() != before {
+		t.Errorf("reconfigured engine still traced: %d new events", tr.Total()-before)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// Expvar-style JSON rendering of the registry: one flat object keyed
+// by "name{labels}", scalar instruments as numbers and histograms as
+// {count, sum, buckets} objects. The same registry state backs both
+// this and the Prometheus text format, so a scrape and a JSON fetch
+// never disagree about what exists.
+
+// histJSON is the JSON shape of one histogram.
+type histJSON struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // upper bound -> cumulative count
+}
+
+// WriteJSON renders the registry as a single JSON object. Keys are
+// sorted (encoding/json sorts map keys), so output is stable across
+// renders of the same state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	ms := r.snapshot()
+	out := make(map[string]any, len(ms))
+	for _, mt := range ms {
+		key := mt.name + mt.labels
+		switch mt.kind {
+		case kindCounter:
+			out[key] = mt.c.Value()
+		case kindGauge:
+			out[key] = mt.g.Value()
+		case kindFloatGauge:
+			out[key] = mt.f.Value()
+		case kindHistogram:
+			mt.h.mu.Lock()
+			buckets := make(map[string]int64, len(mt.h.bounds)+1)
+			cum := int64(0)
+			for i, bound := range mt.h.bounds {
+				cum += mt.h.counts[i]
+				buckets[formatBound(bound)] = cum
+			}
+			cum += mt.h.counts[len(mt.h.bounds)]
+			buckets["+Inf"] = cum
+			out[key] = histJSON{Count: mt.h.count, Sum: mt.h.sum, Buckets: buckets}
+			mt.h.mu.Unlock()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// JSONHandler serves the registry as JSON (the /debug/obs/vars view).
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live state of one engine run, published by the
+// engine once per instruction batch through atomic stores and read by
+// tickers and HTTP handlers without any coordination with the run.
+// A nil *Progress accepts every call as a no-op.
+type Progress struct {
+	label string // immutable after Start
+	total int64  // immutable; planned instructions incl. warmup, 0 when unknown
+	start int64  // immutable; Now() at Start
+
+	insts    atomic.Int64 // instructions stepped, incl. warmup
+	measured atomic.Int64 // measured (post-warmup) instructions folded into stats
+	epochs   atomic.Int64 // epochs closed (folded out of the window)
+	loadInst atomic.Int64 // load + ifetch misses folded
+	stores   atomic.Int64 // store misses folded
+	done     atomic.Bool
+}
+
+// Publish replaces the live counters. The engine calls this once per
+// 4096-instruction batch, so the cost is five atomic stores amortized
+// over thousands of steps.
+//
+//storemlp:noalloc
+func (p *Progress) Publish(insts, measured, epochs, loadInst, stores int64) {
+	if p == nil {
+		return
+	}
+	p.insts.Store(insts)
+	p.measured.Store(measured)
+	p.epochs.Store(epochs)
+	p.loadInst.Store(loadInst)
+	p.stores.Store(stores)
+}
+
+// Snapshot is a consistent-enough view of one run for display: the
+// counters are read individually (each atomically), which is exact at
+// batch boundaries and at most one batch stale between them.
+type Snapshot struct {
+	Label          string        `json:"label"`
+	Total          int64         `json:"total_insts"`
+	Insts          int64         `json:"insts"`
+	Measured       int64         `json:"measured_insts"`
+	Epochs         int64         `json:"epochs"`
+	LoadInstMisses int64         `json:"load_inst_misses"`
+	StoreMisses    int64         `json:"store_misses"`
+	MLP            float64       `json:"mlp"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+	InstsPerSec    float64       `json:"insts_per_sec"`
+	Done           bool          `json:"done"`
+}
+
+// Snapshot reads the current state. MLP is the running mean misses
+// per epoch over the epochs folded so far — the paper's MLP measure,
+// live.
+func (p *Progress) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Label:          p.label,
+		Total:          p.total,
+		Insts:          p.insts.Load(),
+		Measured:       p.measured.Load(),
+		Epochs:         p.epochs.Load(),
+		LoadInstMisses: p.loadInst.Load(),
+		StoreMisses:    p.stores.Load(),
+		Elapsed:        time.Duration(Now() - p.start),
+		Done:           p.done.Load(),
+	}
+	if s.Epochs > 0 {
+		s.MLP = float64(s.LoadInstMisses+s.StoreMisses) / float64(s.Epochs)
+	}
+	if sec := s.Elapsed.Seconds(); sec > 0 {
+		s.InstsPerSec = float64(s.Insts) / sec
+	}
+	return s
+}
+
+// Totals aggregates a Board: finished-run sums plus the live counters
+// of the still-active runs, so a ticker can show overall throughput
+// while a sweep is mid-flight.
+type Totals struct {
+	ActiveRuns   int   `json:"active_runs"`
+	FinishedRuns int64 `json:"finished_runs"`
+	Insts        int64 `json:"insts"`
+	Epochs       int64 `json:"epochs"`
+}
+
+// Board tracks every active run plus aggregates of finished ones —
+// the data behind /debug/obs/runs and the -progress tickers. A nil
+// *Board hands out nil *Progress, so disabled introspection costs one
+// pointer check.
+type Board struct {
+	mu     sync.Mutex
+	active map[*Progress]struct{} // guarded by mu
+	runs   int64                  // guarded by mu; finished runs
+	insts  int64                  // guarded by mu; instructions in finished runs
+	epochs int64                  // guarded by mu; epochs in finished runs
+}
+
+// NewBoard returns an empty board.
+func NewBoard() *Board {
+	return &Board{active: make(map[*Progress]struct{})}
+}
+
+// Start registers a new active run and returns its Progress. total is
+// the planned instruction count including warmup (0 when unknown).
+func (b *Board) Start(label string, total int64) *Progress {
+	if b == nil {
+		return nil
+	}
+	p := &Progress{label: label, total: total, start: Now()}
+	b.mu.Lock()
+	b.active[p] = struct{}{}
+	b.mu.Unlock()
+	return p
+}
+
+// Finish marks p done, removes it from the active set and folds its
+// final counters into the board aggregates. Safe on nil p (a run that
+// was never observed) and idempotent enough for defer use.
+func (b *Board) Finish(p *Progress) {
+	if b == nil || p == nil {
+		return
+	}
+	p.done.Store(true)
+	b.mu.Lock()
+	if _, ok := b.active[p]; ok {
+		delete(b.active, p)
+		b.runs++
+		b.insts += p.insts.Load()
+		b.epochs += p.epochs.Load()
+	}
+	b.mu.Unlock()
+}
+
+// Active snapshots the in-flight runs, oldest first.
+func (b *Board) Active() []Snapshot {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	ps := make([]*Progress, 0, len(b.active))
+	for p := range b.active {
+		ps = append(ps, p)
+	}
+	b.mu.Unlock()
+	sort.Slice(ps, func(i, j int) bool { return ps[i].start < ps[j].start })
+	out := make([]Snapshot, len(ps))
+	for i, p := range ps {
+		out[i] = p.Snapshot()
+	}
+	return out
+}
+
+// Totals aggregates finished-run sums plus live active counters.
+func (b *Board) Totals() Totals {
+	if b == nil {
+		return Totals{}
+	}
+	b.mu.Lock()
+	t := Totals{ActiveRuns: len(b.active), FinishedRuns: b.runs, Insts: b.insts, Epochs: b.epochs}
+	ps := make([]*Progress, 0, len(b.active))
+	for p := range b.active {
+		ps = append(ps, p)
+	}
+	b.mu.Unlock()
+	for _, p := range ps {
+		t.Insts += p.insts.Load()
+		t.Epochs += p.epochs.Load()
+	}
+	return t
+}
+
+// runsJSON is the /debug/obs/runs document.
+type runsJSON struct {
+	Active []Snapshot `json:"active"`
+	Totals Totals     `json:"totals"`
+}
+
+// Handler serves the board as JSON (the /debug/obs/runs view). A nil
+// board serves the empty document.
+func (b *Board) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		doc := runsJSON{Active: b.Active(), Totals: b.Totals()}
+		if doc.Active == nil {
+			doc.Active = []Snapshot{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

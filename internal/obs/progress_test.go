@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestProgressPublishSnapshot(t *testing.T) {
+	b := NewBoard()
+	p := b.Start("database PC", 500000)
+	p.Publish(250000, 150000, 3000, 6000, 1500)
+	s := p.Snapshot()
+	if s.Label != "database PC" || s.Total != 500000 {
+		t.Errorf("identity fields = %+v", s)
+	}
+	if s.Insts != 250000 || s.Measured != 150000 || s.Epochs != 3000 {
+		t.Errorf("counters = %+v", s)
+	}
+	if want := float64(6000+1500) / 3000; s.MLP != want {
+		t.Errorf("MLP = %v, want %v", s.MLP, want)
+	}
+	if s.Done {
+		t.Error("not finished yet")
+	}
+	b.Finish(p)
+	if !p.Snapshot().Done {
+		t.Error("Finish did not mark the run done")
+	}
+}
+
+func TestBoardActiveAndTotals(t *testing.T) {
+	b := NewBoard()
+	p1 := b.Start("one", 100)
+	p1.Publish(50, 50, 10, 20, 5)
+	p2 := b.Start("two", 200)
+	p2.Publish(80, 40, 4, 8, 2)
+
+	if got := len(b.Active()); got != 2 {
+		t.Fatalf("%d active runs, want 2", got)
+	}
+	tot := b.Totals()
+	if tot.ActiveRuns != 2 || tot.FinishedRuns != 0 {
+		t.Errorf("totals = %+v", tot)
+	}
+	if tot.Insts != 130 || tot.Epochs != 14 {
+		t.Errorf("live totals = %+v, want insts 130 epochs 14", tot)
+	}
+
+	b.Finish(p1)
+	tot = b.Totals()
+	if tot.ActiveRuns != 1 || tot.FinishedRuns != 1 {
+		t.Errorf("after finish: %+v", tot)
+	}
+	if tot.Insts != 130 { // finished 50 + live 80
+		t.Errorf("insts after finish = %d, want 130", tot.Insts)
+	}
+	// Double-finish must not double-count.
+	b.Finish(p1)
+	if got := b.Totals().FinishedRuns; got != 1 {
+		t.Errorf("double finish counted twice: %d", got)
+	}
+}
+
+func TestBoardNilSafe(t *testing.T) {
+	var b *Board
+	p := b.Start("x", 1)
+	if p != nil {
+		t.Fatal("nil board handed out a progress")
+	}
+	p.Publish(1, 1, 1, 1, 1) // nil progress: no-op
+	if s := p.Snapshot(); s.Label != "" {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	b.Finish(p)
+	if b.Active() != nil || b.Totals() != (Totals{}) {
+		t.Error("nil board should report empty state")
+	}
+}
+
+func TestBoardHandler(t *testing.T) {
+	b := NewBoard()
+	p := b.Start("handler run", 1000)
+	p.Publish(500, 100, 2, 4, 1)
+	srv := httptest.NewServer(b.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Active []Snapshot `json:"active"`
+		Totals Totals     `json:"totals"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Active) != 1 || doc.Active[0].Label != "handler run" || doc.Active[0].Insts != 500 {
+		t.Errorf("runs doc = %+v", doc)
+	}
+	if doc.Totals.ActiveRuns != 1 {
+		t.Errorf("totals = %+v", doc.Totals)
+	}
+}

@@ -1,0 +1,370 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the metrics registry: exactly the instrument kinds the
+// daemon and CLIs need — counters, integer and float gauges, and
+// fixed-bucket histograms — with atomic hot-path updates, rendered in
+// the Prometheus text exposition format (WriteTo/Handler) and as
+// expvar-style JSON (WriteJSON/JSONHandler, see json.go). It absorbs
+// and replaces the bespoke registry that used to live in
+// internal/server/promtext.go.
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is a float64 gauge (ratios, rates) stored through
+// math.Float64bits so updates stay a single atomic word write.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram observes float64 samples into cumulative buckets. It is
+// usable standalone (NewHistogram) for streaming quantile estimates —
+// cmd/mlpload feeds every request latency through one — or registered
+// in a Registry for /metrics exposure.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // guarded by mu; upper bounds, ascending; +Inf implied
+	counts []int64   // guarded by mu; len(bounds)+1
+	sum    float64   // guarded by mu
+	count  int64     // guarded by mu
+}
+
+// NewHistogram returns a standalone histogram with the given upper
+// bounds (ascending, non-empty; the +Inf bucket is implicit).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimate Prometheus's histogram_quantile produces. Samples in the
+// +Inf bucket clamp to the largest finite bound; an empty histogram
+// reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := int64(0)
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		if c == 0 {
+			return upper
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// DefBuckets are latency buckets in seconds, spanning cache hits
+// (microseconds) through multi-second cold simulations.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// ExpBuckets returns count exponentially spaced bucket bounds starting
+// at min and multiplying by factor — the shape latency distributions
+// want (min > 0, factor > 1, count ≥ 1).
+func ExpBuckets(min, factor float64, count int) []float64 {
+	if min <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExpBuckets needs min > 0, factor > 1, count >= 1")
+	}
+	b := make([]float64, count)
+	v := min
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindFloatGauge
+	kindHistogram
+)
+
+func (k metricKind) promType() string {
+	return [...]string{"counter", "gauge", "gauge", "histogram"}[k]
+}
+
+type metric struct {
+	name   string // base name, no labels
+	help   string
+	kind   metricKind
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	f      *FloatGauge
+	h      *Histogram
+}
+
+// Registry is a set of named instruments that renders itself in the
+// Prometheus text exposition format and as expvar-style JSON.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric          // guarded by mu
+	byKey   map[string]*metric // guarded by mu
+	// onScrape hooks run before each render, for gauges derived from
+	// ambient state (uptime, cache size, pool saturation).
+	onScrape []func() // guarded by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// labelString renders k,v pairs as a stable label block.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	pairs := make([]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func (r *Registry) register(name, help string, kind metricKind, kv []string) *metric {
+	labels := labelString(kv)
+	key := name + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byKey[key]; ok {
+		if existing.kind != kind {
+			panic("obs: " + key + " re-registered with a different kind")
+		}
+		return existing
+	}
+	mt := &metric{name: name, help: help, kind: kind, labels: labels}
+	r.metrics = append(r.metrics, mt)
+	r.byKey[key] = mt
+	return mt
+}
+
+// Counter registers (or returns) a counter. kv are label key/value
+// pairs, e.g. Counter("requests_total", "...", "endpoint", "run").
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	mt := r.register(name, help, kindCounter, kv)
+	if mt.c == nil {
+		mt.c = &Counter{}
+	}
+	return mt.c
+}
+
+// Gauge registers (or returns) an integer gauge.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	mt := r.register(name, help, kindGauge, kv)
+	if mt.g == nil {
+		mt.g = &Gauge{}
+	}
+	return mt.g
+}
+
+// FloatGauge registers (or returns) a float gauge.
+func (r *Registry) FloatGauge(name, help string, kv ...string) *FloatGauge {
+	mt := r.register(name, help, kindFloatGauge, kv)
+	if mt.f == nil {
+		mt.f = &FloatGauge{}
+	}
+	return mt.f
+}
+
+// Histogram registers (or returns) a histogram with the given upper
+// bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64, kv ...string) *Histogram {
+	mt := r.register(name, help, kindHistogram, kv)
+	if mt.h == nil {
+		mt.h = NewHistogram(bounds)
+	}
+	return mt.h
+}
+
+// Info registers an info-style series: a gauge pinned at 1 whose
+// payload is its labels (build version, config digest). The
+// conventional name ends in _info.
+func (r *Registry) Info(name, help string, kv ...string) {
+	r.Gauge(name, help, kv...).Set(1)
+}
+
+// OnScrape registers a hook run before every render.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onScrape = append(r.onScrape, fn)
+}
+
+// snapshot copies out the hook and metric lists and runs the hooks, so
+// rendering never holds the registry lock across user code.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.onScrape...)
+	ms := append([]*metric{}, r.metrics...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return ms[i].labels < ms[j].labels
+	})
+	return ms
+}
+
+// WriteTo renders the registry in Prometheus text format, grouped by
+// metric name with HELP/TYPE headers, names and label sets sorted.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	ms := r.snapshot()
+	var b strings.Builder
+	lastName := ""
+	for _, mt := range ms {
+		if mt.name != lastName {
+			fmt.Fprintf(&b, "# HELP %s %s\n", mt.name, mt.help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", mt.name, mt.kind.promType())
+			lastName = mt.name
+		}
+		switch mt.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", mt.name, mt.labels, mt.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %d\n", mt.name, mt.labels, mt.g.Value())
+		case kindFloatGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", mt.name, mt.labels, formatBound(mt.f.Value()))
+		case kindHistogram:
+			mt.h.mu.Lock()
+			cum := int64(0)
+			for i, bound := range mt.h.bounds {
+				cum += mt.h.counts[i]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", mt.name, mergeLabels(mt.labels, "le", formatBound(bound)), cum)
+			}
+			cum += mt.h.counts[len(mt.h.bounds)]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", mt.name, mergeLabels(mt.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(&b, "%s_sum%s %g\n", mt.name, mt.labels, mt.h.sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", mt.name, mt.labels, mt.h.count)
+			mt.h.mu.Unlock()
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// mergeLabels appends one extra label pair to a rendered label block.
+func mergeLabels(labels, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// Handler serves the registry over HTTP in the text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := r.WriteTo(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

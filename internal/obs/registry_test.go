@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests.", "endpoint", "run")
+	c.Add(3)
+	r.Counter("test_requests_total", "Requests.", "endpoint", "sweep").Inc()
+	g := r.Gauge("test_inflight", "In flight.")
+	g.Set(2)
+	f := r.FloatGauge("test_ratio", "A ratio.")
+	f.Set(0.75)
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Info("test_build_info", "Build info.", "version", "go1.x")
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Requests.",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{endpoint="run"} 3`,
+		`test_requests_total{endpoint="sweep"} 1`,
+		"# TYPE test_inflight gauge",
+		"test_inflight 2",
+		"# TYPE test_ratio gauge",
+		"test_ratio 0.75",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_count 3",
+		`test_build_info{version="go1.x"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+
+	// The HELP header for a family must precede its samples exactly once.
+	if strings.Count(out, "# HELP test_requests_total") != 1 {
+		t.Errorf("HELP emitted more than once:\n%s", out)
+	}
+
+	// Our own renderer must satisfy our own validator.
+	if _, err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("self-render fails validation: %v", err)
+	}
+}
+
+func TestRegistryReRegisterSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.")
+	b := r.Counter("x_total", "X.")
+	if a != b {
+		t.Error("re-registering the same counter returned a different instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "X.")
+}
+
+func TestRegistryOnScrape(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("derived", "Derived.")
+	n := 0
+	r.OnScrape(func() { n++; g.Set(int64(n)) })
+	var b strings.Builder
+	r.WriteTo(&b)
+	r.WriteTo(&b)
+	if n != 2 {
+		t.Errorf("scrape hook ran %d times, want 2", n)
+	}
+	if !strings.Contains(b.String(), "derived 2") {
+		t.Errorf("derived gauge not updated by hook:\n%s", b.String())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 10)) // 1,2,4,...,512
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 32 || p50 > 64 {
+		t.Errorf("p50 = %v, want within (32, 64]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 64 || p99 > 128 {
+		t.Errorf("p99 = %v, want within (64, 128]", p99)
+	}
+	if q := h.Quantile(0); q < 0 || q > 1 {
+		t.Errorf("q0 = %v, want within [0, 1]", q)
+	}
+	// Interpolation: uniform samples in one bucket should place the
+	// median near the bucket midpoint.
+	u := NewHistogram([]float64{10, 20})
+	for i := 0; i < 10; i++ {
+		u.Observe(15)
+	}
+	if got := u.Quantile(0.5); got < 10 || got > 20 {
+		t.Errorf("median of one-bucket histogram = %v, want within [10, 20]", got)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(100) // lands in +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to 2", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(b) != len(want) {
+		t.Fatalf("got %d bounds, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("bound[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("j_total", "J.").Add(7)
+	r.FloatGauge("j_ratio", "R.").Set(0.5)
+	h := r.Histogram("j_seconds", "S.", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	srv := httptest.NewServer(r.JSONHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if string(doc["j_total"]) != "7" {
+		t.Errorf("j_total = %s, want 7", doc["j_total"])
+	}
+	if string(doc["j_ratio"]) != "0.5" {
+		t.Errorf("j_ratio = %s, want 0.5", doc["j_ratio"])
+	}
+	var hd histJSON
+	if err := json.Unmarshal(doc["j_seconds"], &hd); err != nil {
+		t.Fatal(err)
+	}
+	if hd.Count != 2 || hd.Buckets["1"] != 1 || hd.Buckets["+Inf"] != 2 {
+		t.Errorf("histogram JSON = %+v", hd)
+	}
+}
+
+func TestPromHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ct_total", "C.").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain prefix", ct)
+	}
+	if _, err := ValidateExposition(resp.Body); err != nil {
+		t.Errorf("served exposition invalid: %v", err)
+	}
+}

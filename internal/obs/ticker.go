@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// fmtCount renders an instruction count compactly (1234 -> "1.2k",
+// 3_000_000 -> "3.0M") for the one-line ticker.
+func fmtCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// tickerLine renders the board's live state as one status line.
+// instsPerSec is the caller's measured overall rate (the board cannot
+// derive a rate without remembering the previous tick).
+func tickerLine(b *Board, instsPerSec float64) string {
+	act := b.Active()
+	tot := b.Totals()
+	switch len(act) {
+	case 0:
+		return fmt.Sprintf("progress: %d runs done, %s insts", tot.FinishedRuns, fmtCount(tot.Insts))
+	case 1:
+		s := act[0]
+		pct := ""
+		if s.Total > 0 {
+			pct = fmt.Sprintf(" (%.0f%%)", 100*float64(s.Insts)/float64(s.Total))
+		}
+		return fmt.Sprintf("progress: %s  %s/%s insts%s  %s insts/s  MLP %.2f",
+			s.Label, fmtCount(s.Insts), fmtCount(s.Total), pct, fmtCount(int64(instsPerSec)), s.MLP)
+	}
+	return fmt.Sprintf("progress: %d active, %d done, %s insts, %s insts/s",
+		len(act), tot.FinishedRuns, fmtCount(tot.Insts), fmtCount(int64(instsPerSec)))
+}
+
+// StartTicker launches a goroutine that rewrites one status line on w
+// (conventionally stderr) every interval from the board's live state —
+// the -progress flag on the CLIs. The returned stop function (never
+// nil) halts the ticker and blanks the line; it is safe to call once.
+// A nil board or non-positive interval returns a no-op stop.
+func StartTicker(w io.Writer, b *Board, every time.Duration) func() {
+	if b == nil || every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		width := 0
+		lastAt := time.Now()
+		lastInsts := b.Totals().Insts
+		for {
+			select {
+			case <-done:
+				if width > 0 {
+					// Blank the status line so the next print starts clean.
+					fmt.Fprintf(w, "\r%s\r", strings.Repeat(" ", width))
+				}
+				return
+			case <-tick.C:
+				now := time.Now()
+				insts := b.Totals().Insts
+				rate := 0.0
+				if dt := now.Sub(lastAt).Seconds(); dt > 0 {
+					rate = float64(insts-lastInsts) / dt
+				}
+				lastAt, lastInsts = now, insts
+				line := tickerLine(b, rate)
+				pad := ""
+				if n := width - len(line); n > 0 {
+					pad = strings.Repeat(" ", n)
+				}
+				fmt.Fprintf(w, "\r%s%s", line, pad)
+				if len(line) > width {
+					width = len(line)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

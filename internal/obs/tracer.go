@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// EventKind labels a tracer event with the pipeline phase it timed.
+type EventKind uint8
+
+const (
+	// EvParse covers request/spec resolution: validation, trace-source
+	// construction, digesting.
+	EvParse EventKind = iota
+	// EvSimulate spans one whole engine run over the trace.
+	EvSimulate
+	// EvBatch spans one instruction block through the step loop.
+	EvBatch
+	// EvFold spans end-of-run window folding and stats finalization.
+	EvFold
+	// EvRender spans response/report rendering.
+	EvRender
+	// EvWindowGrow marks an epoch-record ring doubling (pathological
+	// fallback path; arg is the new ring length).
+	EvWindowGrow
+	// EvMeasureStart marks the warmup→measurement transition (arg is
+	// the instruction index).
+	EvMeasureStart
+	evKindCount
+)
+
+// String returns the phase name used in trace exports.
+func (k EventKind) String() string {
+	if k >= evKindCount {
+		return "unknown"
+	}
+	return [...]string{"parse", "simulate", "batch", "fold", "render", "window_grow", "measure_start"}[k]
+}
+
+// Event is one recorded span (Dur > 0) or point (Dur == 0). The struct
+// is 32 bytes so the ring stays cache-friendly; Start and Dur are
+// nanoseconds on the Now timebase, Run groups events of one run, and
+// Arg carries one kind-specific payload (batch length, instruction
+// index, ring size).
+type Event struct {
+	Start int64
+	Dur   int64
+	Arg   int64
+	Run   uint32
+	Kind  EventKind
+}
+
+// Tracer records events into a fixed-size ring: constant memory, no
+// allocation after construction, newest events overwrite oldest. All
+// methods are nil-safe no-ops, so "tracing disabled" is a nil pointer
+// and the instrumented hot paths pay one predictable branch.
+//
+// The ring is mutex-guarded rather than lock-free: events are batch-
+// and phase-granularity (thousands of instructions apiece), so the
+// lock is uncontended in practice, and a mutex keeps the slot-reuse
+// pattern clean under the race detector.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Event // guarded by mu; power-of-two length
+	next uint64  // guarded by mu; total events ever recorded
+	runs atomic.Uint32
+}
+
+// NewTracer returns a tracer keeping the most recent events. The
+// capacity is rounded up to a power of two; events <= 0 returns nil —
+// the disabled tracer.
+func NewTracer(events int) *Tracer {
+	if events <= 0 {
+		return nil
+	}
+	n := 1
+	for n < events {
+		n <<= 1
+	}
+	return &Tracer{ring: make([]Event, n)}
+}
+
+// NewRun allocates a fresh run ID for grouping one run's events.
+func (t *Tracer) NewRun() uint32 {
+	if t == nil {
+		return 0
+	}
+	return t.runs.Add(1)
+}
+
+// Complete records a span that started at start (a Now() value) and
+// ends now. This is the engine-facing fast path: one branch when the
+// tracer is nil, one uncontended lock and a slot write otherwise.
+//
+//storemlp:noalloc
+func (t *Tracer) Complete(kind EventKind, run uint32, start, arg int64) {
+	if t == nil {
+		return
+	}
+	end := Now()
+	t.mu.Lock()
+	t.ring[t.next&uint64(len(t.ring)-1)] = Event{Start: start, Dur: end - start, Arg: arg, Run: run, Kind: kind}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Point records an instantaneous event.
+//
+//storemlp:noalloc
+func (t *Tracer) Point(kind EventKind, run uint32, arg int64) {
+	if t == nil {
+		return
+	}
+	now := Now()
+	t.mu.Lock()
+	t.ring[t.next&uint64(len(t.ring)-1)] = Event{Start: now, Arg: arg, Run: run, Kind: kind}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded (recorded, not
+// retained: the ring keeps only the most recent Cap()).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Cap returns the ring capacity; 0 for the disabled tracer.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Snapshot copies out the retained events, oldest first.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	size := uint64(len(t.ring))
+	count := n
+	if count > size {
+		count = size
+	}
+	out := make([]Event, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, t.ring[i&(size-1)])
+	}
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing, Perfetto, speedscope all read it). ph "X" is a
+// complete span with a duration; ph "i" is an instant.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"` // microseconds
+	Dur  float64          `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  uint32           `json:"tid"`
+	S    string           `json:"s,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChrome renders the retained events as Chrome trace_event JSON.
+// Timestamps are rebased to the oldest retained event so the trace
+// opens at t=0; each run renders as its own thread (tid).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	evs := t.Snapshot()
+	base := int64(0)
+	if len(evs) > 0 {
+		base = evs[0].Start
+		for _, ev := range evs {
+			if ev.Start < base {
+				base = ev.Start
+			}
+		}
+	}
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: make([]chromeEvent, 0, len(evs)), DisplayTimeUnit: "ms"}
+	for _, ev := range evs {
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			Ts:   float64(ev.Start-base) / 1e3,
+			Pid:  1,
+			Tid:  ev.Run,
+			Args: map[string]int64{"arg": ev.Arg},
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Handler serves the Chrome trace export (the /debug/obs/trace view).
+// A nil tracer serves an empty trace rather than an error, so the
+// endpoint shape does not depend on configuration.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteChrome(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

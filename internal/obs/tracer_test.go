@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordAndSnapshot(t *testing.T) {
+	tr := NewTracer(4)
+	run := tr.NewRun()
+	start := Now()
+	tr.Complete(EvSimulate, run, start, 100)
+	tr.Point(EvMeasureStart, run, 42)
+	evs := tr.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != EvSimulate || evs[0].Arg != 100 || evs[0].Run != run {
+		t.Errorf("span event = %+v", evs[0])
+	}
+	if evs[0].Dur < 0 {
+		t.Errorf("span duration negative: %d", evs[0].Dur)
+	}
+	if evs[1].Kind != EvMeasureStart || evs[1].Dur != 0 {
+		t.Errorf("point event = %+v", evs[1])
+	}
+	if tr.Total() != 2 {
+		t.Errorf("Total = %d, want 2", tr.Total())
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4) // rounds to capacity 4
+	if tr.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", tr.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		tr.Point(EvBatch, 1, int64(i))
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Arg != want {
+			t.Errorf("event[%d].Arg = %d, want %d (oldest-first, newest retained)", i, ev.Arg, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total = %d, want 10", tr.Total())
+	}
+}
+
+func TestTracerRoundsCapacity(t *testing.T) {
+	if got := NewTracer(5).Cap(); got != 8 {
+		t.Errorf("Cap(5) = %d, want 8", got)
+	}
+	if NewTracer(0) != nil || NewTracer(-1) != nil {
+		t.Error("non-positive capacity should yield the nil (disabled) tracer")
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.NewRun() != 0 {
+		t.Error("nil NewRun != 0")
+	}
+	tr.Complete(EvBatch, 0, Now(), 1) // must not panic
+	tr.Point(EvFold, 0, 1)
+	if tr.Total() != 0 || tr.Cap() != 0 || tr.Snapshot() != nil {
+		t.Error("nil tracer should report empty state")
+	}
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	if !strings.Contains(b.String(), `"traceEvents":[]`) {
+		t.Errorf("nil trace not empty: %s", b.String())
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTracer(16)
+	run := tr.NewRun()
+	start := Now()
+	tr.Complete(EvBatch, run, start, 4096)
+	tr.Point(EvWindowGrow, run, 2048)
+
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Ph   string           `json:"ph"`
+			Ts   float64          `json:"ts"`
+			Dur  float64          `json:"dur"`
+			Tid  uint32           `json:"tid"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(doc.TraceEvents))
+	}
+	span := doc.TraceEvents[0]
+	if span.Name != "batch" || span.Ph != "X" || span.Args["arg"] != 4096 || span.Tid != run {
+		t.Errorf("span = %+v", span)
+	}
+	if inst := doc.TraceEvents[1]; inst.Name != "window_grow" || inst.Ph != "i" {
+		t.Errorf("instant = %+v", inst)
+	}
+	// Timestamps are rebased: the oldest event starts at ts 0.
+	if doc.TraceEvents[0].Ts != 0 {
+		t.Errorf("oldest ts = %v, want 0", doc.TraceEvents[0].Ts)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k := EventKind(0); k < evKindCount; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}

@@ -1,0 +1,422 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A parser/validator for the Prometheus text exposition format
+// (version 0.0.4) — the consumer-side counterpart of Registry.WriteTo.
+// The scrape-parse tests fetch /metrics and run every family through
+// ValidateExposition, so a malformed name, a missing HELP/TYPE pair,
+// a negative counter or a non-cumulative histogram fails CI instead of
+// silently breaking real scrapers.
+
+// Sample is one exposed sample line.
+type Sample struct {
+	Name   string // full sample name, including _bucket/_sum/_count suffixes
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: the HELP/TYPE header pair plus its
+// contiguous block of samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// expoError decorates a parse/validation failure with its line number.
+func expoError(line int, format string, args ...any) error {
+	return fmt.Errorf("exposition line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// ParseExposition reads the text format into families, enforcing the
+// lexical grammar (names, label syntax, float values) but not the
+// semantic rules; ValidateExposition adds those.
+func ParseExposition(r io.Reader) ([]Family, error) {
+	var fams []*Family
+	byName := map[string]*Family{}
+	cur := func(name string, line int) (*Family, error) {
+		if f, ok := byName[name]; ok {
+			return f, nil
+		}
+		return nil, expoError(line, "sample %q precedes its # HELP/# TYPE header", name)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var lastFam *Family
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !metricNameRe.MatchString(name) {
+				return nil, expoError(lineNo, "invalid metric name %q in %s line", name, fields[1])
+			}
+			switch fields[1] {
+			case "HELP":
+				if _, exists := byName[name]; exists {
+					return nil, expoError(lineNo, "duplicate # HELP for %q", name)
+				}
+				help := ""
+				if len(fields) == 4 {
+					help = fields[3]
+				}
+				f := &Family{Name: name, Help: help}
+				fams = append(fams, f)
+				byName[name] = f
+			case "TYPE":
+				f, ok := byName[name]
+				if !ok {
+					return nil, expoError(lineNo, "# TYPE %q without preceding # HELP", name)
+				}
+				if f.Type != "" {
+					return nil, expoError(lineNo, "duplicate # TYPE for %q", name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, expoError(lineNo, "# TYPE %q after its samples", name)
+				}
+				typ := ""
+				if len(fields) == 4 {
+					typ = fields[3]
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, expoError(lineNo, "invalid type %q for %q", typ, name)
+				}
+				f.Type = typ
+			}
+			continue
+		}
+		s, err := parseSample(line, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		fam, err := cur(familyName(s.Name, byName), lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if fam != lastFam && len(fam.Samples) > 0 {
+			return nil, expoError(lineNo, "samples of family %q are not contiguous", fam.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+		lastFam = fam
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Family, len(fams))
+	for i, f := range fams {
+		out[i] = *f
+	}
+	return out, nil
+}
+
+// familyName strips histogram/summary suffixes when the base name is a
+// declared family; a plain sample maps to itself.
+func familyName(sample string, byName map[string]*Family) string {
+	if _, ok := byName[sample]; ok {
+		return sample
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suffix); ok {
+			if _, exists := byName[base]; exists {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+// parseSample parses `name{labels} value` (timestamps, which our
+// registry never emits, are rejected).
+func parseSample(line string, lineNo int) (Sample, error) {
+	s := Sample{}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, expoError(lineNo, "sample %q has no value", line)
+	}
+	s.Name = line[:i]
+	if !metricNameRe.MatchString(s.Name) {
+		return s, expoError(lineNo, "invalid sample name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest, lineNo)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	if rest == "" {
+		return s, expoError(lineNo, "sample %q has no value", s.Name)
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return s, expoError(lineNo, "sample %q has trailing fields (timestamps are not emitted by this registry)", s.Name)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, expoError(lineNo, "sample %q has unparseable value %q", s.Name, rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a {k="v",...} block, handling the \\, \" and
+// \n escapes the format defines for label values.
+func parseLabels(in string, lineNo int) (map[string]string, string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		if i >= len(in) {
+			return nil, "", expoError(lineNo, "unterminated label block")
+		}
+		if in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		j := strings.IndexByte(in[i:], '=')
+		if j < 0 {
+			return nil, "", expoError(lineNo, "label without '=' in %q", in)
+		}
+		name := in[i : i+j]
+		if !labelNameRe.MatchString(name) {
+			return nil, "", expoError(lineNo, "invalid label name %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", expoError(lineNo, "duplicate label %q", name)
+		}
+		i += j + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", expoError(lineNo, "label %q value is not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", expoError(lineNo, "unterminated value for label %q", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return nil, "", expoError(lineNo, "dangling escape in label %q", name)
+				}
+				switch in[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", expoError(lineNo, "invalid escape \\%c in label %q", in[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[name] = val.String()
+		switch {
+		case i < len(in) && in[i] == ',':
+			i++
+		case i < len(in) && in[i] == '}':
+			// loop top consumes the close brace
+		default:
+			return nil, "", expoError(lineNo, "unterminated label block")
+		}
+	}
+}
+
+// ValidateExposition parses and then semantically validates an
+// exposition: HELP/TYPE pairing, sample names consistent with the
+// declared type, non-negative finite counters, and well-formed
+// histograms (ascending le bounds, cumulative bucket counts, +Inf
+// bucket present and equal to _count, _sum/_count present). It returns
+// the parsed families so callers can run cross-scrape checks (counter
+// monotonicity) on top.
+func ValidateExposition(r io.Reader) ([]Family, error) {
+	fams, err := ParseExposition(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		f := &fams[i]
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %q: # HELP without # TYPE", f.Name)
+		}
+		if len(f.Samples) == 0 {
+			return nil, fmt.Errorf("family %q: declared but has no samples", f.Name)
+		}
+		switch f.Type {
+		case "histogram":
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		default:
+			for _, s := range f.Samples {
+				if s.Name != f.Name {
+					return nil, fmt.Errorf("family %q: sample name %q does not match its type %s", f.Name, s.Name, f.Type)
+				}
+			}
+			if f.Type == "counter" {
+				for _, s := range f.Samples {
+					if math.IsNaN(s.Value) || s.Value < 0 {
+						return nil, fmt.Errorf("family %q: counter sample %s%v has invalid value %v", f.Name, s.Name, labelSig(s.Labels, ""), s.Value)
+					}
+				}
+			}
+		}
+	}
+	return fams, nil
+}
+
+// CountersMonotone checks that every counter sample present in both
+// expositions did not decrease from earlier to later — the double-
+// scrape monotonicity test. Samples that appear only on one side are
+// ignored (registration order is append-only, but a fresh process
+// would reset them).
+func CountersMonotone(earlier, later []Family) error {
+	prev := map[string]float64{}
+	for _, f := range earlier {
+		if f.Type != "counter" {
+			continue
+		}
+		for _, s := range f.Samples {
+			prev[s.Name+labelSig(s.Labels, "")] = s.Value
+		}
+	}
+	for _, f := range later {
+		if f.Type != "counter" {
+			continue
+		}
+		for _, s := range f.Samples {
+			key := s.Name + labelSig(s.Labels, "")
+			if was, ok := prev[key]; ok && s.Value < was {
+				return fmt.Errorf("counter %s decreased: %v -> %v", key, was, s.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// labelSig renders labels (minus one excluded key) as a stable
+// signature for grouping and error messages.
+func labelSig(labels map[string]string, except string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != except {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// histSeries accumulates one label-set's histogram samples.
+type histSeries struct {
+	buckets []Sample // _bucket samples in exposition order
+	sum     *Sample
+	count   *Sample
+}
+
+func validateHistogram(f *Family) error {
+	series := map[string]*histSeries{}
+	order := []string{}
+	get := func(sig string) *histSeries {
+		if hs, ok := series[sig]; ok {
+			return hs
+		}
+		hs := &histSeries{}
+		series[sig] = hs
+		order = append(order, sig)
+		return hs
+	}
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		sig := labelSig(s.Labels, "le")
+		switch s.Name {
+		case f.Name + "_bucket":
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("family %q: bucket sample %s missing le label", f.Name, sig)
+			}
+			hs := get(sig)
+			hs.buckets = append(hs.buckets, *s)
+		case f.Name + "_sum":
+			get(sig).sum = s
+		case f.Name + "_count":
+			get(sig).count = s
+		default:
+			return fmt.Errorf("family %q: sample name %q is not a histogram series", f.Name, s.Name)
+		}
+	}
+	for _, sig := range order {
+		hs := series[sig]
+		if len(hs.buckets) == 0 || hs.sum == nil || hs.count == nil {
+			return fmt.Errorf("family %q %s: histogram needs _bucket, _sum and _count series", f.Name, sig)
+		}
+		prevBound := math.Inf(-1)
+		prevCum := float64(-1)
+		sawInf := false
+		var infCum float64
+		for _, b := range hs.buckets {
+			le := b.Labels["le"]
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("family %q %s: unparseable le=%q", f.Name, sig, le)
+			}
+			if bound <= prevBound {
+				return fmt.Errorf("family %q %s: le bounds not ascending (%v after %v)", f.Name, sig, bound, prevBound)
+			}
+			if b.Value < prevCum {
+				return fmt.Errorf("family %q %s: bucket counts not cumulative at le=%q", f.Name, sig, le)
+			}
+			prevBound, prevCum = bound, b.Value
+			if math.IsInf(bound, +1) {
+				sawInf = true
+				infCum = b.Value
+			}
+		}
+		if !sawInf {
+			return fmt.Errorf("family %q %s: missing le=\"+Inf\" bucket", f.Name, sig)
+		}
+		// Bucket counts are integers by construction; compare as such.
+		if int64(infCum) != int64(hs.count.Value) {
+			return fmt.Errorf("family %q %s: +Inf bucket (%v) != _count (%v)", f.Name, sig, infCum, hs.count.Value)
+		}
+	}
+	return nil
+}

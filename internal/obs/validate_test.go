@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP srv_requests_total Requests served.
+# TYPE srv_requests_total counter
+srv_requests_total{endpoint="run",status="ok"} 12
+srv_requests_total{endpoint="sweep",status="ok"} 3
+# HELP srv_inflight Requests in flight.
+# TYPE srv_inflight gauge
+srv_inflight 2
+# HELP srv_seconds Request latency.
+# TYPE srv_seconds histogram
+srv_seconds_bucket{le="0.1"} 5
+srv_seconds_bucket{le="1"} 9
+srv_seconds_bucket{le="+Inf"} 10
+srv_seconds_sum 4.2
+srv_seconds_count 10
+`
+
+func TestValidateExpositionGood(t *testing.T) {
+	fams, err := ValidateExposition(strings.NewReader(goodExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(fams))
+	}
+	if fams[0].Name != "srv_requests_total" || fams[0].Type != "counter" || len(fams[0].Samples) != 2 {
+		t.Errorf("family 0 = %+v", fams[0])
+	}
+	s := fams[0].Samples[0]
+	if s.Labels["endpoint"] != "run" || s.Value != 12 {
+		t.Errorf("sample = %+v", s)
+	}
+	if fams[2].Type != "histogram" || len(fams[2].Samples) != 5 {
+		t.Errorf("histogram family = %+v", fams[2])
+	}
+}
+
+func TestValidateExpositionLabelEscapes(t *testing.T) {
+	in := "# HELP esc_info Escapes.\n# TYPE esc_info gauge\n" +
+		`esc_info{path="a\"b\\c\nd"} 1` + "\n"
+	fams, err := ValidateExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams[0].Samples[0].Labels["path"]; got != "a\"b\\c\nd" {
+		t.Errorf("unescaped label = %q", got)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"sample before header", "x_total 1\n", "precedes its # HELP"},
+		{"type without help", "# TYPE x_total counter\n", "without preceding # HELP"},
+		{"help without type", "# HELP x_total X.\nx_total 1\n", "# HELP without # TYPE"},
+		{"duplicate help", "# HELP x X.\n# TYPE x gauge\nx 1\n# HELP x X.\n", "duplicate # HELP"},
+		{"bad type", "# HELP x X.\n# TYPE x countr\n", "invalid type"},
+		{"bad metric name", "# HELP 0x X.\n# TYPE 0x gauge\n", "invalid metric name"},
+		{"bad value", "# HELP x X.\n# TYPE x gauge\nx nope\n", "unparseable value"},
+		{"negative counter", "# HELP x_total X.\n# TYPE x_total counter\nx_total -1\n", "invalid value"},
+		{"split family", "# HELP x X.\n# TYPE x gauge\nx{a=\"1\"} 1\n# HELP y Y.\n# TYPE y gauge\ny 1\nx{a=\"2\"} 1\n", "not contiguous"},
+		{"unterminated labels", "# HELP x X.\n# TYPE x gauge\nx{a=\"b\" 1\n", "unterminated"},
+		{"bad label name", "# HELP x X.\n# TYPE x gauge\nx{0a=\"b\"} 1\n", "invalid label name"},
+		{"duplicate label", "# HELP x X.\n# TYPE x gauge\nx{a=\"1\",a=\"2\"} 1\n", "duplicate label"},
+		{"histogram missing inf", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", "+Inf"},
+		{"histogram non-cumulative", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", "not cumulative"},
+		{"histogram le out of order", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n", "not ascending"},
+		{"histogram count mismatch", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n", "!= _count"},
+		{"histogram missing sum", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n", "needs _bucket, _sum and _count"},
+		{"no samples", "# HELP x X.\n# TYPE x gauge\n", "no samples"},
+		{"timestamped sample", "# HELP x X.\n# TYPE x gauge\nx 1 1700000000\n", "trailing fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateExposition(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("accepted invalid exposition:\n%s", tc.in)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateCountersMonotone is the cross-scrape pattern the server
+// test uses: parse two expositions and require counters not to move
+// backwards.
+func TestValidateCountersMonotone(t *testing.T) {
+	first, err := ValidateExposition(strings.NewReader(goodExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := strings.Replace(goodExposition, `srv_requests_total{endpoint="run",status="ok"} 12`,
+		`srv_requests_total{endpoint="run",status="ok"} 15`, 1)
+	second, err := ValidateExposition(strings.NewReader(bumped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CountersMonotone(first, second); err != nil {
+		t.Errorf("monotone counters flagged: %v", err)
+	}
+	if err := CountersMonotone(second, first); err == nil {
+		t.Error("decreasing counter not flagged")
+	}
+}

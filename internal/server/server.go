@@ -16,11 +16,14 @@
 // cancellation threaded into the engine's instruction loop, and the
 // daemon drains in-flight simulations on shutdown.
 //
-// Observability: /metrics serves Prometheus text format (request
-// counts and latencies, cache hit ratio, coalesced requests, in-flight
-// simulations, worker-queue depth), /healthz serves a liveness summary,
-// and every request is logged with a request ID. DESIGN.md §9 has the
-// full inventory.
+// Observability is built on internal/obs: /metrics serves the shared
+// registry in Prometheus text format (request counts and latencies,
+// cache hit ratio, pool saturation, engine throughput), /debug/obs/vars
+// serves the same registry as JSON, /debug/obs/trace exports the run
+// tracer's phase spans as Chrome trace_event JSON, /debug/obs/runs
+// lists live engine progress, /healthz serves a liveness summary, and
+// every request is logged with a request ID, duration, cache state and
+// outcome. DESIGN.md §9 and §12 have the full inventory.
 package server
 
 import (
@@ -31,6 +34,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +43,7 @@ import (
 	"storemlp/internal/consistency"
 	"storemlp/internal/digest"
 	"storemlp/internal/epoch"
+	"storemlp/internal/obs"
 	"storemlp/internal/sim"
 	"storemlp/internal/uarch"
 	"storemlp/internal/workload"
@@ -64,6 +69,10 @@ type Config struct {
 	Runner Runner
 	// Logger receives structured request logs; nil = slog.Default().
 	Logger *slog.Logger
+	// TraceEvents sizes the run tracer's event ring (default 16384;
+	// <0 disables tracing — /debug/obs/trace then serves an empty
+	// trace and the engine hot path pays only a nil check).
+	TraceEvents int
 }
 
 // Server is the mlpsimd service core. Create with New, mount Handler
@@ -83,9 +92,14 @@ type Server struct {
 	start  time.Time
 	reqSeq atomic.Int64
 
-	// Metrics is the service registry, exported for /metrics mounting
-	// and for tests.
+	// Metrics is the service registry (internal/obs), exported for
+	// /metrics mounting and for tests.
 	Metrics *Metrics
+
+	tracer *obs.Tracer
+	board  *obs.Board
+	sinks  *obs.Obs
+	pool   *sim.Pool // behind the default runner; nil with a custom Runner
 
 	mReqs         map[string]map[string]*Counter // endpoint -> class -> counter
 	mLatency      map[string]*Histogram
@@ -93,14 +107,49 @@ type Server struct {
 	mCacheMisses  *Counter
 	mCacheEvicted *Counter
 	mCacheEntries *Gauge
+	mHitRatio     *obs.FloatGauge
 	mCoalesced    *Counter
 	mInflight     *Gauge
 	mQueueDepth   *Gauge
+	mSaturation   *obs.FloatGauge
+	mPoolIdle     *Gauge
 	mExecuted     *Counter
 	mFailures     *Counter
 	mInsts        *Counter
+	mEpochs       *Counter
+	mInstsRate    *obs.FloatGauge
+	mEpochsRate   *obs.FloatGauge
+	mRunsActive   *Gauge
+	mTraceEvents  *Counter
 	mUptime       *Gauge
+
+	// Scrape-to-scrape throughput derivation (see scrapeRates).
+	rateMu     sync.Mutex
+	rateAt     time.Time // guarded by rateMu
+	rateInsts  int64     // guarded by rateMu
+	rateEpochs int64     // guarded by rateMu
 }
+
+// Metrics, Counter, Gauge and Histogram are aliases into internal/obs:
+// the registry that used to live in this package (promtext.go) moved
+// there so the engine, the CLIs and the daemon share one metrics and
+// tracing layer.
+type (
+	// Metrics is the shared instrument registry type.
+	Metrics = obs.Registry
+	// Counter is a monotonically increasing metric.
+	Counter = obs.Counter
+	// Gauge is an integer metric that can go up and down.
+	Gauge = obs.Gauge
+	// Histogram observes float64 samples into cumulative buckets.
+	Histogram = obs.Histogram
+)
+
+// NewMetrics returns an empty registry (obs.NewRegistry).
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// DefBuckets are the default latency bucket bounds (obs.DefBuckets).
+var DefBuckets = obs.DefBuckets
 
 // New builds a Server.
 func New(cfg Config) *Server {
@@ -116,14 +165,19 @@ func New(cfg Config) *Server {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 120 * time.Second
 	}
+	var pool *sim.Pool
 	if cfg.Runner == nil {
 		// Recycle engines across requests: with bounded worker
 		// concurrency the pool converges on one engine per worker and
 		// steady-state serving stops allocating simulator substrate.
-		cfg.Runner = sim.NewPool().RunContext
+		pool = sim.NewPool()
+		cfg.Runner = pool.RunContext
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
+	}
+	if cfg.TraceEvents == 0 {
+		cfg.TraceEvents = 16384
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -136,7 +190,11 @@ func New(cfg Config) *Server {
 		slots:   make(chan struct{}, cfg.Workers),
 		start:   time.Now(),
 		Metrics: NewMetrics(),
+		tracer:  obs.NewTracer(cfg.TraceEvents), // nil when TraceEvents < 0
+		board:   obs.NewBoard(),
+		pool:    pool,
 	}
+	s.sinks = &obs.Obs{Tracer: s.tracer, Board: s.board}
 	if cfg.CacheEntries > 0 {
 		s.cache = newLRUCache(cfg.CacheEntries)
 	}
@@ -148,7 +206,7 @@ func (s *Server) registerMetrics() {
 	m := s.Metrics
 	s.mReqs = make(map[string]map[string]*Counter)
 	s.mLatency = make(map[string]*Histogram)
-	for _, ep := range []string{"run", "sweep", "healthz", "metrics"} {
+	for _, ep := range []string{"run", "sweep", "healthz", "metrics", "debug"} {
 		byClass := make(map[string]*Counter)
 		for _, class := range []string{"2xx", "4xx", "5xx"} {
 			byClass[class] = m.Counter("mlpsimd_requests_total",
@@ -163,14 +221,39 @@ func (s *Server) registerMetrics() {
 	s.mCacheMisses = m.Counter("mlpsimd_cache_misses_total", "Result-cache misses.")
 	s.mCacheEvicted = m.Counter("mlpsimd_cache_evictions_total", "Result-cache LRU evictions.")
 	s.mCacheEntries = m.Gauge("mlpsimd_cache_entries", "Result-cache current size.")
+	s.mHitRatio = m.FloatGauge("mlpsimd_cache_hit_ratio",
+		"Lifetime result-cache hit ratio: hits / (hits + misses).")
 	s.mCoalesced = m.Counter("mlpsimd_coalesced_requests_total",
 		"Requests that joined an identical in-flight simulation instead of executing.")
 	s.mInflight = m.Gauge("mlpsimd_sims_inflight", "Simulations currently executing.")
 	s.mQueueDepth = m.Gauge("mlpsimd_queue_depth", "Simulations waiting for a worker slot.")
+	s.mSaturation = m.FloatGauge("mlpsimd_pool_saturation",
+		"Fraction of worker slots occupied: sims in flight / workers.")
+	s.mPoolIdle = m.Gauge("mlpsimd_pool_engines_idle",
+		"Recycled engines parked in the pool (0 under a custom runner).")
 	s.mExecuted = m.Counter("mlpsimd_sims_executed_total", "Engine executions started.")
 	s.mFailures = m.Counter("mlpsimd_sim_failures_total", "Engine executions that returned an error.")
 	s.mInsts = m.Counter("mlpsimd_insts_simulated_total", "Instructions simulated (measured + warmup).")
+	s.mEpochs = m.Counter("mlpsimd_engine_epochs_total", "Epochs closed by completed simulations.")
+	s.mInstsRate = m.FloatGauge("mlpsimd_engine_insts_per_second",
+		"Simulated-instruction throughput over the last scrape interval.")
+	s.mEpochsRate = m.FloatGauge("mlpsimd_engine_epochs_per_second",
+		"Epoch throughput over the last scrape interval.")
+	s.mRunsActive = m.Gauge("mlpsimd_runs_active", "Engine runs currently publishing progress.")
+	s.mTraceEvents = m.Counter("mlpsimd_trace_events_total", "Events recorded by the run tracer.")
 	s.mUptime = m.Gauge("mlpsimd_uptime_seconds", "Seconds since process start.")
+	m.Info("mlpsimd_build_info", "Build identity of the serving binary.",
+		"go_version", runtime.Version(), "module", "storemlp")
+	m.Info("mlpsimd_config_info", "Effective serving configuration and its canonical digest.",
+		"workers", strconv.Itoa(s.cfg.Workers),
+		"cache_entries", strconv.Itoa(s.cfg.CacheEntries),
+		"max_insts", strconv.FormatInt(s.cfg.MaxInsts, 10),
+		"trace_events", strconv.Itoa(s.cfg.TraceEvents),
+		"digest", digest.Sum(struct {
+			Workers, CacheEntries, TraceEvents int
+			MaxInsts, DefaultTimeoutMS         int64
+		}{s.cfg.Workers, s.cfg.CacheEntries, s.cfg.TraceEvents,
+			s.cfg.MaxInsts, s.cfg.DefaultTimeout.Milliseconds()}))
 	m.OnScrape(func() {
 		s.mUptime.Set(int64(time.Since(s.start).Seconds()))
 		if s.cache != nil {
@@ -180,8 +263,45 @@ func (s *Server) registerMetrics() {
 				s.mCacheEvicted.Add(d)
 			}
 		}
+		if hits, misses := s.mCacheHits.Value(), s.mCacheMisses.Value(); hits+misses > 0 {
+			s.mHitRatio.Set(float64(hits) / float64(hits+misses))
+		}
+		s.mSaturation.Set(float64(s.mInflight.Value()) / float64(s.cfg.Workers))
+		if s.pool != nil {
+			s.mPoolIdle.Set(int64(s.pool.Idle()))
+		}
+		s.mRunsActive.Set(int64(s.board.Totals().ActiveRuns))
+		// Trace events live in the tracer's ring cursor; mirror them in.
+		if d := int64(s.tracer.Total()) - s.mTraceEvents.Value(); d > 0 {
+			s.mTraceEvents.Add(d)
+		}
+		s.scrapeRates()
 	})
 }
+
+// scrapeRates derives engine throughput gauges from the instruction and
+// epoch counter deltas since the previous scrape. The first scrape
+// establishes the baseline and reports 0.
+func (s *Server) scrapeRates() {
+	now := time.Now()
+	insts, epochs := s.mInsts.Value(), s.mEpochs.Value()
+	s.rateMu.Lock()
+	defer s.rateMu.Unlock()
+	if !s.rateAt.IsZero() {
+		if dt := now.Sub(s.rateAt).Seconds(); dt > 0 {
+			s.mInstsRate.Set(float64(insts-s.rateInsts) / dt)
+			s.mEpochsRate.Set(float64(epochs-s.rateEpochs) / dt)
+		}
+	}
+	s.rateAt, s.rateInsts, s.rateEpochs = now, insts, epochs
+}
+
+// Tracer exposes the run tracer (nil when tracing is disabled) for
+// CLIs and tests that want a trace export.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Board exposes the live-run board for progress tickers and tests.
+func (s *Server) Board() *obs.Board { return s.board }
 
 // Close aborts any still-running simulations. Call it after the HTTP
 // server has drained (http.Server.Shutdown), not before.
@@ -416,12 +536,15 @@ func (s *Server) execute(ctx context.Context, spec sim.Spec) (*RunResult, error)
 	s.mInflight.Add(1)
 	s.mExecuted.Inc()
 	defer s.mInflight.Add(-1)
-	stats, err := s.runner(ctx, spec)
+	// Thread the tracer and the live-run board into the engine: the
+	// default pool runner picks them up via obs.FromContext.
+	stats, err := s.runner(obs.NewContext(ctx, s.sinks), spec)
 	if err != nil {
 		s.mFailures.Inc()
 		return nil, err
 	}
 	s.mInsts.Add(spec.Insts + spec.Warm)
+	s.mEpochs.Add(stats.Epochs)
 	return &RunResult{
 		ConfigName:              spec.Uarch.Name(),
 		Insts:                   stats.Insts,
@@ -453,8 +576,11 @@ func (s *Server) servePoint(ctx context.Context, req RunRequest) (RunResponse, e
 	}
 	resp := RunResponse{Digest: key}
 
+	rs := reqStatsFrom(ctx)
+
 	if req.NoCache {
 		// Benchmark cold path: always a fresh execution, never shared.
+		rs.bypass.Add(1)
 		res, err := s.execute(ctx, spec)
 		if err != nil {
 			return RunResponse{}, err
@@ -467,6 +593,7 @@ func (s *Server) servePoint(ctx context.Context, req RunRequest) (RunResponse, e
 	if s.cache != nil {
 		if res, ok := s.cache.get(key); ok {
 			s.mCacheHits.Inc()
+			rs.hits.Add(1)
 			resp.Cached = true
 			resp.Result = *res
 			resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
@@ -490,6 +617,9 @@ func (s *Server) servePoint(ctx context.Context, req RunRequest) (RunResponse, e
 	}
 	if shared {
 		s.mCoalesced.Inc()
+		rs.coalesced.Add(1)
+	} else {
+		rs.misses.Add(1)
 	}
 	resp.Coalesced = shared
 	resp.Result = *res
@@ -507,6 +637,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.Metrics.Handler())
+	mux.Handle("GET /debug/obs/trace", s.tracer.Handler())
+	mux.Handle("GET /debug/obs/runs", s.board.Handler())
+	mux.Handle("GET /debug/obs/vars", s.Metrics.JSONHandler())
 	return s.instrument(mux)
 }
 
@@ -532,6 +665,9 @@ func endpointOf(path string) string {
 	case "/metrics":
 		return "metrics"
 	}
+	if strings.HasPrefix(path, "/debug/") {
+		return "debug"
+	}
 	return "run" // unknown paths 404 through the mux; bucket arbitrarily
 }
 
@@ -545,15 +681,74 @@ func classOf(status int) string {
 	return "2xx"
 }
 
+// reqStats accumulates per-request cache accounting across the points
+// the request serves (one for /v1/run, many for /v1/sweep); sweeps
+// serve points concurrently, hence the atomics. The instrument
+// middleware plants one in the context and renders it on the
+// completion log line.
+type reqStats struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	bypass    atomic.Int64
+}
+
+// state renders the cache interaction: the bare class for the common
+// single-point request, "hit=3,miss=1"-style tallies for sweeps, and
+// "none" when no point reached the cache (errors, probes).
+func (c *reqStats) state() string {
+	counts := [...]struct {
+		name string
+		n    int64
+	}{
+		{"hit", c.hits.Load()},
+		{"miss", c.misses.Load()},
+		{"coalesced", c.coalesced.Load()},
+		{"bypass", c.bypass.Load()},
+	}
+	total := int64(0)
+	parts := make([]string, 0, len(counts))
+	for _, ct := range counts {
+		if ct.n == 0 {
+			continue
+		}
+		total += ct.n
+		parts = append(parts, fmt.Sprintf("%s=%d", ct.name, ct.n))
+	}
+	switch {
+	case total == 0:
+		return "none"
+	case total == 1:
+		return parts[0][:strings.IndexByte(parts[0], '=')]
+	}
+	return strings.Join(parts, ",")
+}
+
+// outcomeOf classifies a response status for the completion log line.
+func outcomeOf(status int) string {
+	switch {
+	case status == http.StatusGatewayTimeout:
+		return "timeout"
+	case status >= 500:
+		return "server_error"
+	case status >= 400:
+		return "client_error"
+	}
+	return "ok"
+}
+
 // instrument wraps the mux with request IDs, structured logs, latency
-// histograms and request counters.
+// histograms and request counters. Each request logs exactly one
+// completion line carrying its ID, duration, cache state and outcome.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := fmt.Sprintf("%06x-%04d", start.UnixNano()&0xffffff, s.reqSeq.Add(1)%10000)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		sw.Header().Set("X-Request-Id", id)
-		next.ServeHTTP(sw, r.WithContext(withRequestID(r.Context(), id)))
+		rs := &reqStats{}
+		ctx := withReqStats(withRequestID(r.Context(), id), rs)
+		next.ServeHTTP(sw, r.WithContext(ctx))
 		dur := time.Since(start)
 		ep := endpointOf(r.URL.Path)
 		if byClass, ok := s.mReqs[ep]; ok {
@@ -563,7 +758,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			h.Observe(dur.Seconds())
 		}
 		level := slog.LevelInfo
-		if ep == "healthz" || ep == "metrics" {
+		if ep == "healthz" || ep == "metrics" || ep == "debug" {
 			level = slog.LevelDebug // probe noise
 		}
 		s.log.LogAttrs(r.Context(), level, "request",
@@ -572,13 +767,18 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),
 			slog.Duration("dur", dur),
+			slog.String("cache", rs.state()),
+			slog.String("outcome", outcomeOf(sw.status)),
 		)
 	})
 }
 
 type ctxKey int
 
-const requestIDKey ctxKey = 0
+const (
+	requestIDKey ctxKey = iota
+	reqStatsKey
+)
 
 func withRequestID(ctx context.Context, id string) context.Context {
 	return context.WithValue(ctx, requestIDKey, id)
@@ -588,6 +788,19 @@ func withRequestID(ctx context.Context, id string) context.Context {
 func RequestID(ctx context.Context) string {
 	id, _ := ctx.Value(requestIDKey).(string)
 	return id
+}
+
+func withReqStats(ctx context.Context, rs *reqStats) context.Context {
+	return context.WithValue(ctx, reqStatsKey, rs)
+}
+
+// reqStatsFrom returns the request's cache accounting; callers outside
+// the middleware (direct servePoint use in tests) get a discard sink.
+func reqStatsFrom(ctx context.Context) *reqStats {
+	if rs, ok := ctx.Value(reqStatsKey).(*reqStats); ok {
+		return rs
+	}
+	return &reqStats{}
 }
 
 // writeJSON encodes v with a status code.
@@ -636,7 +849,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
+	renderStart := obs.Now()
 	writeJSON(w, http.StatusOK, resp)
+	s.tracer.Complete(obs.EvRender, 0, renderStart, 1)
 }
 
 // maxSweepPoints bounds one sweep request; larger grids should be
@@ -684,7 +899,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	renderStart := obs.Now()
 	writeJSON(w, http.StatusOK, resp)
+	s.tracer.Complete(obs.EvRender, 0, renderStart, int64(len(resp.Points)))
 }
 
 type healthBody struct {

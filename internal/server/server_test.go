@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"storemlp/internal/epoch"
+	"storemlp/internal/obs"
 	"storemlp/internal/sim"
 )
 
@@ -386,7 +387,7 @@ func TestWorkerPoolBoundsConcurrency(t *testing.T) {
 func TestRealEngineSmallRun(t *testing.T) {
 	// One end-to-end run through the real epoch engine, small enough for
 	// test time but long enough to produce epochs.
-	_, ts := newTestServer(t, Config{})
+	s, ts := newTestServer(t, Config{})
 	req := RunRequest{Workload: "database", Insts: 100_000, Warm: 50_000}
 	resp, body := postJSON(t, ts.URL+"/v1/run", req)
 	if resp.StatusCode != http.StatusOK {
@@ -404,6 +405,22 @@ func TestRealEngineSmallRun(t *testing.T) {
 	}
 	if !strings.Contains(rr.Result.ConfigName, "PC Sp1") {
 		t.Errorf("config name %q", rr.Result.ConfigName)
+	}
+
+	// The default pool runner picks the obs sinks out of the request
+	// context: the tracer holds the engine's phase spans and the board
+	// folded the finished run into its totals.
+	var simulated bool
+	for _, ev := range s.Tracer().Snapshot() {
+		if ev.Kind == obs.EvSimulate {
+			simulated = true
+		}
+	}
+	if !simulated {
+		t.Error("real run left no simulate span in the tracer")
+	}
+	if tot := s.Board().Totals(); tot.FinishedRuns < 1 || tot.Insts < 150_000 {
+		t.Errorf("board totals %+v, want >= 1 finished run of 150000 insts", tot)
 	}
 }
 
@@ -438,42 +455,224 @@ func TestLRUCacheEviction(t *testing.T) {
 	}
 }
 
-func TestMetricsRegistryRender(t *testing.T) {
-	m := NewMetrics()
-	m.Counter("x_total", "help x", "k", "a").Add(3)
-	m.Counter("x_total", "help x", "k", "b").Inc()
-	m.Gauge("g", "help g").Set(-5)
-	h := m.Histogram("h_seconds", "help h", []float64{0.1, 1})
-	h.Observe(0.05)
-	h.Observe(0.5)
-	h.Observe(5)
-	var b bytes.Buffer
-	if _, err := m.WriteTo(&b); err != nil {
-		t.Fatal(err)
+// scrapeFamilies fetches /metrics and validates the body against the
+// Prometheus text exposition grammar (names, HELP/TYPE pairing,
+// histogram bucket structure, counter sanity).
+func scrapeFamilies(t *testing.T, url string) []obs.Family {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
 	}
-	out := b.String()
-	for _, want := range []string{
-		"# HELP x_total help x",
-		"# TYPE x_total counter",
-		`x_total{k="a"} 3`,
-		`x_total{k="b"} 1`,
-		"g -5",
-		`h_seconds_bucket{le="0.1"} 1`,
-		`h_seconds_bucket{le="1"} 2`,
-		`h_seconds_bucket{le="+Inf"} 3`,
-		"h_seconds_count 3",
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("render missing %q\n---\n%s", want, out)
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	fams, err := obs.ValidateExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics violates exposition grammar: %v", err)
+	}
+	return fams
+}
+
+// TestMetricsExpositionGrammar is the scrape-parse gate: the full
+// /metrics output must survive a strict exposition-format parse before
+// and after traffic, and every counter must be monotone between the
+// two scrapes.
+func TestMetricsExpositionGrammar(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestServer(t, Config{Runner: countingRunner(&execs, 0)})
+
+	first := scrapeFamilies(t, ts.URL)
+	req := RunRequest{Workload: "database", Insts: 1000}
+	for i := 0; i < 2; i++ { // miss then hit
+		resp, body := postJSON(t, ts.URL+"/v1/run", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d: %s", i, resp.StatusCode, body)
 		}
 	}
-	// HELP/TYPE emitted once per name even with two label sets.
-	if n := strings.Count(out, "# TYPE x_total"); n != 1 {
-		t.Errorf("TYPE x_total emitted %d times", n)
+	second := scrapeFamilies(t, ts.URL)
+	if err := obs.CountersMonotone(first, second); err != nil {
+		t.Errorf("counters regressed between scrapes: %v", err)
 	}
-	// Duplicate registration returns the same instrument.
-	if m.Counter("x_total", "help x", "k", "a").Value() != 3 {
-		t.Error("re-registration lost state")
+
+	names := make(map[string]bool, len(second))
+	for _, f := range second {
+		names[f.Name] = true
+	}
+	for _, want := range []string{
+		"mlpsimd_requests_total", "mlpsimd_request_seconds",
+		"mlpsimd_cache_hit_ratio", "mlpsimd_pool_saturation",
+		"mlpsimd_engine_epochs_total", "mlpsimd_engine_insts_per_second",
+		"mlpsimd_engine_epochs_per_second", "mlpsimd_runs_active",
+		"mlpsimd_trace_events_total", "mlpsimd_build_info", "mlpsimd_config_info",
+	} {
+		if !names[want] {
+			t.Errorf("scrape missing family %s", want)
+		}
+	}
+}
+
+// syncBuffer makes a bytes.Buffer safe to share between the server's
+// logging goroutine and the test.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitFor polls cond (the completion log line is written after the
+// response reaches the client, so the test must wait for it).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRequestLogFields asserts the satellite contract on the request
+// logger: one completion line per request carrying request ID,
+// duration, cache state and outcome.
+func TestRequestLogFields(t *testing.T) {
+	var buf syncBuffer
+	var execs atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Runner: countingRunner(&execs, 0),
+		Logger: slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+
+	req := RunRequest{Workload: "database", Insts: 1000}
+	for i := 0; i < 2; i++ { // miss then hit
+		if resp, body := postJSON(t, ts.URL+"/v1/run", req); resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	requestLines := func() []string {
+		var out []string
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.Contains(line, "msg=request ") {
+				out = append(out, line)
+			}
+		}
+		return out
+	}
+	waitFor(t, "two completion log lines", func() bool { return len(requestLines()) >= 2 })
+
+	lines := requestLines()
+	for i, line := range lines[:2] {
+		for _, field := range []string{"req_id=", "dur=", "status=200", "outcome=ok", "path=/v1/run"} {
+			if !strings.Contains(line, field) {
+				t.Errorf("log line %d missing %s: %s", i, field, line)
+			}
+		}
+	}
+	if !strings.Contains(lines[0], "cache=miss") {
+		t.Errorf("first request should log cache=miss: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "cache=hit") {
+		t.Errorf("second request should log cache=hit: %s", lines[1])
+	}
+}
+
+// TestDebugObservabilityEndpoints exercises the /debug/obs/* views:
+// the Chrome trace export, the live-run board and the JSON mirror of
+// the metrics registry.
+func TestDebugObservabilityEndpoints(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestServer(t, Config{Runner: countingRunner(&execs, 0)})
+	if resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "database", Insts: 1000}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+
+	getJSON := func(path string, v interface{}) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+
+	// The render span is recorded after the response is written; poll.
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	waitFor(t, "a render span in the trace", func() bool {
+		tr.TraceEvents = nil
+		getJSON("/debug/obs/trace", &tr)
+		for _, ev := range tr.TraceEvents {
+			if ev.Name == "render" && ev.Ph == "X" {
+				return true
+			}
+		}
+		return false
+	})
+
+	var runs struct {
+		Active []obs.Snapshot `json:"active"`
+		Totals obs.Totals     `json:"totals"`
+	}
+	getJSON("/debug/obs/runs", &runs)
+	if runs.Active == nil {
+		t.Error("/debug/obs/runs active should render as [], not null")
+	}
+
+	var vars map[string]interface{}
+	getJSON("/debug/obs/vars", &vars)
+	if got, ok := vars["mlpsimd_sims_executed_total"].(float64); !ok || got != 1 {
+		t.Errorf("vars executed_total = %v, want 1", vars["mlpsimd_sims_executed_total"])
+	}
+}
+
+// TestTracerDisabled: TraceEvents < 0 turns tracing off; the endpoint
+// shape survives as an empty trace.
+func TestTracerDisabled(t *testing.T) {
+	var execs atomic.Int64
+	s, ts := newTestServer(t, Config{Runner: countingRunner(&execs, 0), TraceEvents: -1})
+	if s.Tracer() != nil {
+		t.Fatal("TraceEvents < 0 should disable the tracer")
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "database", Insts: 1000}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/debug/obs/trace")
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	defer resp.Body.Close()
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(tr.TraceEvents) != 0 {
+		t.Errorf("disabled tracer exported %d events", len(tr.TraceEvents))
 	}
 }
 
@@ -483,6 +682,7 @@ func TestEndpointClassification(t *testing.T) {
 	}
 	for path, want := range map[string]string{
 		"/v1/run": "run", "/v1/sweep": "sweep", "/healthz": "healthz", "/metrics": "metrics",
+		"/debug/obs/trace": "debug", "/debug/obs/runs": "debug", "/debug/obs/vars": "debug",
 	} {
 		if got := endpointOf(path); got != want {
 			t.Errorf("endpointOf(%s) = %s", path, got)

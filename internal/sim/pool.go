@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"storemlp/internal/epoch"
+	"storemlp/internal/obs"
 )
 
 // Pool recycles epoch engines across simulation runs. The zero value
@@ -58,6 +59,7 @@ func (p *Pool) Run(s Spec) (*epoch.Stats, error) {
 // the package-level RunContext: the recycled engine is reconfigured to
 // an observationally fresh state first, so results are identical.
 func (p *Pool) RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
+	parseStart := obs.Now()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -71,7 +73,9 @@ func (p *Pool) RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
 		return nil, err
 	}
 	src := BuildSource(s.Workload, cfg, s.Warm+s.Insts)
+	release := observeFrom(obs.FromContext(ctx), e, runLabel(s), s.Warm+s.Insts, parseStart)
 	st, err := e.RunContext(ctx, src)
+	release()
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 
 	"storemlp/internal/consistency"
 	"storemlp/internal/epoch"
+	"storemlp/internal/obs"
 	"storemlp/internal/trace"
 	"storemlp/internal/uarch"
 	"storemlp/internal/workload"
@@ -97,7 +98,10 @@ func prepare(s Spec) (uarch.Config, []epoch.Option) {
 
 // RunContext is Run with cancellation: the epoch engine polls ctx and
 // abandons the simulation once it is done, returning ctx's error.
+// When ctx carries an *obs.Obs (obs.NewContext), the run publishes
+// tracer spans and live progress snapshots into it.
 func RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
+	parseStart := obs.Now()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -107,5 +111,43 @@ func RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
 		return nil, err
 	}
 	src := BuildSource(s.Workload, cfg, s.Warm+s.Insts)
+	release := observeFrom(obs.FromContext(ctx), eng, runLabel(s), s.Warm+s.Insts, parseStart)
+	defer release()
 	return eng.RunContext(ctx, src)
+}
+
+// runLabel names a run the way the paper labels bars: workload plus
+// machine configuration.
+func runLabel(s Spec) string {
+	return s.Workload.Name + " " + s.Uarch.Name()
+}
+
+// Observe attaches the observability sinks carried by ctx (if any) to
+// eng for one run: a fresh tracer run ID and a progress entry on the
+// board, labelled label with a planned instruction count of total. The
+// returned release function (never nil) retires the board entry and
+// detaches the sinks; callers defer it around the run. Callers that go
+// through RunContext or Pool.RunContext get this automatically; the
+// export exists for paths that drive an engine directly (trace replay,
+// storemlp.RunTraceContext).
+func Observe(ctx context.Context, eng *epoch.Engine, label string, total int64) func() {
+	return observeFrom(obs.FromContext(ctx), eng, label, total, 0)
+}
+
+// observeFrom implements Observe; a non-zero parseStart additionally
+// records the parse/build span that began then under the new run ID.
+func observeFrom(o *obs.Obs, eng *epoch.Engine, label string, total, parseStart int64) func() {
+	if o == nil || (o.Tracer == nil && o.Board == nil) {
+		return func() {}
+	}
+	run := o.Tracer.NewRun()
+	if parseStart != 0 {
+		o.Tracer.Complete(obs.EvParse, run, parseStart, total)
+	}
+	p := o.Board.Start(label, total)
+	eng.SetObs(o.Tracer, run, p)
+	return func() {
+		o.Board.Finish(p)
+		eng.SetObs(nil, 0, nil)
+	}
 }

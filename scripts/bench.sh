@@ -1,10 +1,11 @@
 #!/bin/sh
 # Repository benchmarks, two stages:
 #
-#  1. Engine microbenchmarks: BenchmarkEngine + BenchmarkTraceCodec via
-#     `go test -bench`, best-of-N, written to BENCH_engine.json in the
-#     repo root together with the delta against the committed pre-
-#     optimization baseline (BENCH_COUNT overrides N, default 3).
+#  1. Engine microbenchmarks: BenchmarkEngine + BenchmarkEngineTraced +
+#     BenchmarkTraceCodec via `go test -bench`, best-of-N, written to
+#     BENCH_engine.json in the repo root together with the delta against
+#     the committed pre-optimization baseline and the tracer-enabled vs
+#     tracer-disabled overhead (BENCH_COUNT overrides N, default 3).
 #  2. Serving-layer benchmark: start a local mlpsimd, replay the
 #     repeated Figure-2-style 64-point grid with mlpload, and write the
 #     measurements (cold vs warm throughput, tail latencies, speedup)
@@ -32,15 +33,16 @@ CODEC_BASE_NS=18310000
 CODEC_BASE_ALLOCS=200015
 
 echo '>> engine microbenchmarks (best of '"${BENCH_COUNT:-3}"')'
-go test -run '^$' -bench '^(BenchmarkEngine|BenchmarkTraceCodec)$' \
+go test -run '^$' -bench '^(BenchmarkEngine|BenchmarkEngineTraced|BenchmarkTraceCodec)$' \
     -benchmem -count "${BENCH_COUNT:-3}" . | tee "$tmpdir/bench.out"
 
 awk -v eng_base_ns="$ENGINE_BASE_NS" -v eng_base_allocs="$ENGINE_BASE_ALLOCS" \
     -v cod_base_ns="$CODEC_BASE_NS" -v cod_base_allocs="$CODEC_BASE_ALLOCS" '
-$1 ~ /^BenchmarkEngine(-[0-9]+)?$/     { if (eng_ns == 0 || $3 < eng_ns) { eng_ns = $3; eng_allocs = $(NF-1) } }
-$1 ~ /^BenchmarkTraceCodec(-[0-9]+)?$/ { if (cod_ns == 0 || $3 < cod_ns) { cod_ns = $3; cod_allocs = $(NF-1) } }
+$1 ~ /^BenchmarkEngine(-[0-9]+)?$/       { if (eng_ns == 0 || $3 < eng_ns) { eng_ns = $3; eng_allocs = $(NF-1) } }
+$1 ~ /^BenchmarkEngineTraced(-[0-9]+)?$/ { if (trc_ns == 0 || $3 < trc_ns) { trc_ns = $3; trc_allocs = $(NF-1) } }
+$1 ~ /^BenchmarkTraceCodec(-[0-9]+)?$/   { if (cod_ns == 0 || $3 < cod_ns) { cod_ns = $3; cod_allocs = $(NF-1) } }
 END {
-    if (eng_ns == 0 || cod_ns == 0) { print "bench parse failure" > "/dev/stderr"; exit 1 }
+    if (eng_ns == 0 || trc_ns == 0 || cod_ns == 0) { print "bench parse failure" > "/dev/stderr"; exit 1 }
     eng_insts = 500000; cod_insts = 200000
     printf "{\n"
     printf "  \"engine\": {\n"
@@ -48,7 +50,9 @@ END {
     printf "    \"insts_per_sec\": %.0f,\n    \"allocs_per_op\": %d,\n", eng_insts * 1e9 / eng_ns, eng_allocs
     printf "    \"baseline_ns_per_op\": %d,\n    \"baseline_insts_per_sec\": %.0f,\n", eng_base_ns, eng_insts * 1e9 / eng_base_ns
     printf "    \"baseline_allocs_per_op\": %d,\n", eng_base_allocs
-    printf "    \"speedup_vs_baseline\": %.3f\n  },\n", eng_base_ns / eng_ns
+    printf "    \"speedup_vs_baseline\": %.3f,\n", eng_base_ns / eng_ns
+    printf "    \"traced_ns_per_op\": %d,\n    \"traced_allocs_per_op\": %d,\n", trc_ns, trc_allocs
+    printf "    \"tracer_overhead\": %.4f\n  },\n", trc_ns / eng_ns - 1
     printf "  \"trace_codec\": {\n"
     printf "    \"ns_per_op\": %d,\n    \"insts_per_op\": %d,\n", cod_ns, cod_insts
     printf "    \"insts_per_sec\": %.0f,\n    \"allocs_per_op\": %d,\n", cod_insts * 1e9 / cod_ns, cod_allocs

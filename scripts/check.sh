@@ -32,9 +32,9 @@ echo '>> go test -race ./...'
 go test -race "$@" ./...
 
 echo '>> benchmark smoke (1 iteration)'
-go test -run '^$' -bench '^(BenchmarkEngine|BenchmarkTraceCodec)$' -benchtime 1x -benchmem .
+go test -run '^$' -bench '^(BenchmarkEngine|BenchmarkEngineTraced|BenchmarkTraceCodec)$' -benchtime 1x -benchmem .
 
-echo '>> mlpsimd smoke test'
+echo '>> mlpsimd smoke test (with observability checks)'
 tmpdir=$(mktemp -d)
 smoke_cleanup() {
     [ -n "${smoke_pid:-}" ] && kill "$smoke_pid" 2>/dev/null || true
@@ -43,7 +43,8 @@ smoke_cleanup() {
 trap smoke_cleanup EXIT
 go build -o "$tmpdir/mlpsimd" ./cmd/mlpsimd
 go build -o "$tmpdir/mlpload" ./cmd/mlpload
-"$tmpdir/mlpsimd" -addr 127.0.0.1:0 -drain 10s >"$tmpdir/mlpsimd.out" 2>"$tmpdir/mlpsimd.log" &
+"$tmpdir/mlpsimd" -addr 127.0.0.1:0 -drain 10s -trace-out "$tmpdir/run.trace.json" \
+    >"$tmpdir/mlpsimd.out" 2>"$tmpdir/mlpsimd.log" &
 smoke_pid=$!
 addr=''
 i=0
@@ -55,13 +56,18 @@ while [ $i -lt 100 ]; do
     i=$((i + 1))
 done
 [ -n "$addr" ] || { echo 'mlpsimd never became ready'; exit 1; }
-# /healthz + real runs through the client (also exercises the cache path).
+# /healthz + real runs through the client (also exercises the cache
+# path); -scrape then grammar-checks /metrics and pulls the run trace.
 "$tmpdir/mlpload" -addr "http://$addr" -workloads database -insts 20000 -warm 10000 \
-    -repeat 1 -concurrency 2 -mode warm
+    -repeat 1 -concurrency 2 -mode warm -scrape
 kill -INT "$smoke_pid"
 wait "$smoke_pid" || { echo 'mlpsimd did not shut down cleanly'; cat "$tmpdir/mlpsimd.log"; exit 1; }
 smoke_pid=''
 grep -q 'mlpsimd stopped' "$tmpdir/mlpsimd.out" || { echo 'missing clean-shutdown marker'; exit 1; }
-echo 'smoke: OK'
+# -trace-out must have dumped a non-empty Chrome trace at shutdown.
+[ -s "$tmpdir/run.trace.json" ] || { echo 'trace-out file missing or empty'; exit 1; }
+grep -q '"traceEvents"' "$tmpdir/run.trace.json" || { echo 'trace-out file lacks traceEvents'; exit 1; }
+grep -q '"name":"simulate"' "$tmpdir/run.trace.json" || { echo 'trace-out has no simulate spans'; exit 1; }
+echo 'smoke: OK (incl. metrics grammar, trace export)'
 
 echo 'check: OK'

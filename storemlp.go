@@ -185,7 +185,10 @@ func RunTrace(r io.Reader, cfg Config, warm int64) (*Stats, error) {
 	return RunTraceContext(context.Background(), r, cfg, warm)
 }
 
-// RunTraceContext is RunTrace with cancellation.
+// RunTraceContext is RunTrace with cancellation. Like RunContext, it
+// publishes tracer spans and live progress when ctx carries an
+// *obs.Obs (obs.NewContext); the planned total is unknown for a
+// streamed trace, so progress reports instructions only.
 func RunTraceContext(ctx context.Context, r io.Reader, cfg Config, warm int64) (*Stats, error) {
 	tr, err := trace.NewReader(r)
 	if err != nil {
@@ -196,6 +199,8 @@ func RunTraceContext(ctx context.Context, r io.Reader, cfg Config, warm int64) (
 	if err != nil {
 		return nil, err
 	}
+	release := sim.Observe(ctx, eng, "trace "+cfg.Name(), 0)
+	defer release()
 	stats, err := eng.RunContext(ctx, tr)
 	if err != nil {
 		return nil, err
