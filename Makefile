@@ -18,8 +18,11 @@ vet:
 storemlpvet:
 	$(GO) run ./cmd/storemlpvet ./...
 
-# Standalone invariant lint: the nine storemlpvet rules, nothing else.
-lint: storemlpvet
+# Standalone invariant lint: the thirteen storemlpvet rules, nothing
+# else. -list first so the log names every rule that ran.
+lint:
+	$(GO) run ./cmd/storemlpvet -list
+	$(GO) run ./cmd/storemlpvet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem

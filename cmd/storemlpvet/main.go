@@ -1,7 +1,9 @@
 // Command storemlpvet runs MLPsim's repo-specific static-analysis suite
 // over the module: exhaustive-enum, validate-coverage, stats-drift,
-// floatcmp, ctxmut, resetcomplete, guardedby, hotpath and ctxpoll (see
-// DESIGN.md, "Static analysis" and "Invariant analyzers").
+// floatcmp, ctxmut, resetcomplete, guardedby, hotpath, ctxpoll,
+// lockorder, atomicfield, goleak and digestcover (see DESIGN.md,
+// "Static analysis", "Invariant analyzers" and "Concurrency and
+// digest-integrity analyzers").
 //
 // Usage:
 //

@@ -92,7 +92,8 @@ func TestListRules(t *testing.T) {
 	}
 	for _, rule := range []string{"exhaustive-enum", "validate-coverage",
 		"stats-drift", "floatcmp", "ctxmut",
-		"resetcomplete", "guardedby", "hotpath", "ctxpoll"} {
+		"resetcomplete", "guardedby", "hotpath", "ctxpoll",
+		"lockorder", "atomicfield", "goleak", "digestcover"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list missing %s:\n%s", rule, out.String())
 		}

@@ -54,6 +54,15 @@ func DefaultAnalyzers() []Analyzer {
 		GuardedBy{},
 		HotPath{},
 		CtxPoll{TracePkg: "storemlp/internal/trace"},
+		LockOrder{},
+		AtomicField{},
+		GoLeak{},
+		DigestCover{
+			Roots: []string{"storemlp/internal/sim.Spec"},
+			Funcs: map[string]string{
+				"storemlp.ConfigDigest": "storemlp.RunSpec",
+			},
+		},
 	}
 }
 

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces all-or-nothing atomicity on struct fields: a
+// field that is ever accessed through sync/atomic — either a typed
+// atomic (atomic.Int64 and friends, used via .Load/.Store/.Add) or a
+// plain integer passed by address to atomic.AddInt64-style functions —
+// must never also be accessed as a plain read or write. Mixed access
+// is exactly the bug the memory model does not forgive: the plain
+// access races with every atomic one, and -race only sees it when the
+// schedule cooperates.
+//
+// Typed atomic fields are sanctioned only as method-call receivers
+// (x.f.Load()) or when passed by address (the idiomatic hand-off to a
+// helper); any other selector use — copying the value, assigning over
+// it — is a finding. Raw fields marked atomic by an
+// atomic.<Op><Type>(&x.f, ...) call site are sanctioned only inside
+// such calls.
+type AtomicField struct{}
+
+// Name implements Analyzer.
+func (AtomicField) Name() string { return "atomicfield" }
+
+// Doc implements Analyzer.
+func (AtomicField) Doc() string {
+	return "fields accessed via sync/atomic are never also accessed as plain reads/writes"
+}
+
+// atomicFieldKind distinguishes how a field earned its atomic status.
+type atomicFieldKind uint8
+
+const (
+	atomicTyped atomicFieldKind = iota // declared as atomic.Int64 etc.
+	atomicRaw                          // plain int passed to atomic.AddInt64 etc.
+)
+
+// Run implements Analyzer.
+func (a AtomicField) Run(m *Module) []Diagnostic {
+	marked := map[string]atomicFieldKind{} // "pkg.Type.field" -> kind
+
+	// Pass 1a: fields with a sync/atomic type.
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					named := namedOf(objType(pkg.Info.Defs[ts.Name]))
+					if named == nil {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						tv, ok := pkg.Info.Types[field.Type]
+						if !ok || !isAtomicType(tv.Type) {
+							continue
+						}
+						for _, name := range field.Names {
+							marked[typeKey(named)+"."+name.Name] = atomicTyped
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 1b: fields whose address reaches a sync/atomic function.
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicPkgCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if key := addressedFieldKey(pkg, arg); key != "" {
+						if _, typed := marked[key]; !typed {
+							marked[key] = atomicRaw
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	if len(marked) == 0 {
+		return nil
+	}
+
+	// Pass 2: every selector access to a marked field must be in a
+	// sanctioned position.
+	var out []Diagnostic
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			sanctioned := map[*ast.SelectorExpr]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					// x.f.Load(...): the receiver selector of a method call
+					// on a typed atomic is the atomic API itself.
+					if fun, ok := x.Fun.(*ast.SelectorExpr); ok {
+						if recv, ok := fun.X.(*ast.SelectorExpr); ok {
+							if key := fieldKeyOf(pkg, recv); key != "" && marked[key] == atomicTyped {
+								sanctioned[recv] = true
+							}
+						}
+					}
+					// atomic.AddInt64(&x.f, ...): raw fields inside
+					// sync/atomic calls.
+					if isAtomicPkgCall(pkg, x) {
+						for _, arg := range x.Args {
+							if sel := addressedField(arg); sel != nil {
+								sanctioned[sel] = true
+							}
+						}
+					}
+				case *ast.UnaryExpr:
+					// &x.f on a typed atomic: a hand-off by pointer keeps
+					// every access through the atomic API.
+					if sel := addressedField(x); sel != nil {
+						if key := fieldKeyOf(pkg, sel); key != "" && marked[key] == atomicTyped {
+							sanctioned[sel] = true
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				key := fieldKeyOf(pkg, sel)
+				if key == "" {
+					return true
+				}
+				kind, ok := marked[key]
+				if !ok {
+					return true
+				}
+				how := "accessed via sync/atomic elsewhere"
+				if kind == atomicTyped {
+					how = "a typed atomic"
+				}
+				out = append(out, Diagnostic{
+					Pos:  m.Fset.Position(sel.Sel.Pos()),
+					Rule: a.Name(),
+					Message: fmt.Sprintf("field %s is %s but is read/written plainly here (use the atomic API for every access)",
+						shortLock(key), how),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// fieldKeyOf resolves sel to "pkg.Type.field" when it selects a struct
+// field, else "".
+func fieldKeyOf(pkg *Package, sel *ast.SelectorExpr) string {
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	named := namedOf(selection.Recv())
+	if named == nil {
+		return ""
+	}
+	return typeKey(named) + "." + sel.Sel.Name
+}
+
+// addressedField unwraps &x.f (through parens) to the field selector.
+func addressedField(e ast.Expr) *ast.SelectorExpr {
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+	un, ok := e.(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return nil
+	}
+	inner := un.X
+	for {
+		if p, ok := inner.(*ast.ParenExpr); ok {
+			inner = p.X
+			continue
+		}
+		break
+	}
+	sel, _ := inner.(*ast.SelectorExpr)
+	return sel
+}
+
+// addressedFieldKey resolves &x.f to its field key, or "".
+func addressedFieldKey(pkg *Package, e ast.Expr) string {
+	if sel := addressedField(e); sel != nil {
+		return fieldKeyOf(pkg, sel)
+	}
+	return ""
+}
+
+// isAtomicPkgCall reports whether call resolves to a sync/atomic
+// package-level function (atomic.AddInt64, atomic.LoadUint32, ...).
+func isAtomicPkgCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	_, isFunc := obj.(*types.Func)
+	return isFunc && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed values
+// (atomic.Int64, atomic.Uint32, atomic.Bool, atomic.Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" &&
+		strings.HasPrefix(typeKey(named), "sync/atomic.")
+}

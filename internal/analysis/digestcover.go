@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DigestCover protects the cache-key integrity of the digest layer.
+// storemlp's serving stack coalesces, caches and (in the roadmap's
+// next wave) shards by config digest; a config field that exists but
+// is not hashed means two different runs share a digest and the cache
+// silently returns the wrong run's results.
+//
+// Two hashing styles exist in the tree and each fails differently:
+//
+//   - digest.Sum over a struct (digest.Canonical) walks exported
+//     fields reflectively. It silently skips unexported fields, and it
+//     panics at runtime on chan/func/unsafe kinds. Roots lists the
+//     struct types handed to the reflective encoder; every field
+//     reachable from a root must be exported and encodable.
+//   - explicit enumerations like storemlp.ConfigDigest build the
+//     digested value field by field. Funcs maps such a function to the
+//     struct it covers; every exported field of the struct must be
+//     mentioned in the function body.
+//
+// A field genuinely excluded from identity — a debug knob, an output
+// sink — carries //storemlp:nodigest to say so in the source.
+type DigestCover struct {
+	// Roots are named struct types ("pkgpath.Name") passed to the
+	// reflective encoder; all fields transitively reachable through
+	// exported fields are checked.
+	Roots []string
+	// Funcs maps a digest function ("pkgpath.Func") to the named struct
+	// type whose exported fields it must consume.
+	Funcs map[string]string
+}
+
+// Name implements Analyzer.
+func (DigestCover) Name() string { return "digestcover" }
+
+// Doc implements Analyzer.
+func (DigestCover) Doc() string {
+	return "every config field reachable from a digest root is hashed or carries //storemlp:nodigest"
+}
+
+// Run implements Analyzer.
+func (a DigestCover) Run(m *Module) []Diagnostic {
+	nodigest := nodigestFields(m)
+	var out []Diagnostic
+
+	sortedRoots := append([]string(nil), a.Roots...)
+	sort.Strings(sortedRoots)
+	for _, root := range sortedRoots {
+		named := lookupNamedType(m, root)
+		if named == nil {
+			continue // root type lives outside this module (or was renamed)
+		}
+		w := &digestWalker{m: m, rule: a.Name(), nodigest: nodigest, seen: map[*types.Named]bool{}}
+		w.walkNamed(named)
+		out = append(out, w.out...)
+	}
+
+	funcNames := make([]string, 0, len(a.Funcs))
+	for fn := range a.Funcs {
+		funcNames = append(funcNames, fn)
+	}
+	sort.Strings(funcNames)
+	for _, fn := range funcNames {
+		out = append(out, a.checkFunc(m, fn, a.Funcs[fn], nodigest)...)
+	}
+	return out
+}
+
+// checkFunc verifies that the digest function mentions every exported
+// field of its covered struct.
+func (a DigestCover) checkFunc(m *Module, funcKey, typeKey_ string, nodigest map[token.Pos]bool) []Diagnostic {
+	named := lookupNamedType(m, typeKey_)
+	if named == nil {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	body := lookupFuncBody(m, funcKey)
+	if body == nil {
+		return nil
+	}
+
+	// Every s.Field selector in the body whose receiver is the covered
+	// struct counts as consumption, wherever it feeds the hash.
+	pkg := m.Lookup(pkgOfKey(funcKey))
+	consumed := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pkg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		if recv := namedOf(selection.Recv()); recv != nil && typesIdentical(recv, named) {
+			consumed[sel.Sel.Name] = true
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() || consumed[f.Name()] || nodigest[f.Pos()] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:  m.Fset.Position(f.Pos()),
+			Rule: a.Name(),
+			Message: fmt.Sprintf("exported field %s.%s is not consumed by %s (hash it there, or annotate //storemlp:nodigest)",
+				shortLock(typeKey_), f.Name(), shortLock(funcKey)),
+		})
+	}
+	return out
+}
+
+// digestWalker checks every struct reachable from a reflective digest
+// root through exported, encodable fields.
+type digestWalker struct {
+	m        *Module
+	rule     string
+	nodigest map[token.Pos]bool
+	seen     map[*types.Named]bool
+	out      []Diagnostic
+}
+
+func (w *digestWalker) walkNamed(n *types.Named) {
+	if w.seen[n] {
+		return
+	}
+	w.seen[n] = true
+	// Only structs declared in this module are checked: stdlib types
+	// (time.Duration etc.) are out of the repo's control.
+	if n.Obj().Pkg() == nil || w.m.Lookup(n.Obj().Pkg().Path()) == nil {
+		return
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	tname := typeKey(n)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if w.nodigest[f.Pos()] {
+			continue
+		}
+		if !f.Exported() {
+			w.out = append(w.out, Diagnostic{
+				Pos:  w.m.Fset.Position(f.Pos()),
+				Rule: w.rule,
+				Message: fmt.Sprintf("unexported field %s.%s is silently skipped by the reflective digest (export it, or annotate //storemlp:nodigest)",
+					shortLock(tname), f.Name()),
+			})
+			continue
+		}
+		if kind := unencodableKind(f.Type(), map[*types.Named]bool{}); kind != "" {
+			w.out = append(w.out, Diagnostic{
+				Pos:  w.m.Fset.Position(f.Pos()),
+				Rule: w.rule,
+				Message: fmt.Sprintf("field %s.%s contains %s, which the reflective digest cannot encode (it panics at run time)",
+					shortLock(tname), f.Name(), kind),
+			})
+			continue
+		}
+		w.walkType(f.Type())
+	}
+}
+
+// walkType recurses into the named structs reachable from t.
+func (w *digestWalker) walkType(t types.Type) {
+	switch x := types.Unalias(t).(type) {
+	case *types.Named:
+		w.walkNamed(x)
+		if _, isStruct := x.Underlying().(*types.Struct); !isStruct {
+			w.walkType(x.Underlying())
+		}
+	case *types.Pointer:
+		w.walkType(x.Elem())
+	case *types.Slice:
+		w.walkType(x.Elem())
+	case *types.Array:
+		w.walkType(x.Elem())
+	case *types.Map:
+		w.walkType(x.Key())
+		w.walkType(x.Elem())
+	case *types.Struct:
+		// Anonymous struct: check its fields inline under a synthetic
+		// name-free walk (fields still carry positions).
+		for i := 0; i < x.NumFields(); i++ {
+			f := x.Field(i)
+			if w.nodigest[f.Pos()] {
+				continue
+			}
+			if !f.Exported() {
+				w.out = append(w.out, Diagnostic{
+					Pos:  w.m.Fset.Position(f.Pos()),
+					Rule: w.rule,
+					Message: fmt.Sprintf("unexported field %s of anonymous struct is silently skipped by the reflective digest (export it, or annotate //storemlp:nodigest)",
+						f.Name()),
+				})
+				continue
+			}
+			w.walkType(f.Type())
+		}
+	}
+}
+
+// unencodableKind returns a description of the first chan/func/unsafe
+// kind transitively contained in t (through pointers, slices, arrays,
+// maps and struct fields), or "" when t is fully encodable. Interfaces
+// stop the walk: their dynamic type is not statically known.
+func unencodableKind(t types.Type, seen map[*types.Named]bool) string {
+	switch x := types.Unalias(t).(type) {
+	case *types.Named:
+		if seen[x] {
+			return ""
+		}
+		seen[x] = true
+		return unencodableKind(x.Underlying(), seen)
+	case *types.Basic:
+		if x.Kind() == types.UnsafePointer {
+			return "an unsafe.Pointer"
+		}
+	case *types.Chan:
+		return "a channel"
+	case *types.Signature:
+		return "a function value"
+	case *types.Pointer:
+		return unencodableKind(x.Elem(), seen)
+	case *types.Slice:
+		return unencodableKind(x.Elem(), seen)
+	case *types.Array:
+		return unencodableKind(x.Elem(), seen)
+	case *types.Map:
+		if k := unencodableKind(x.Key(), seen); k != "" {
+			return k
+		}
+		return unencodableKind(x.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			f := x.Field(i)
+			if !f.Exported() {
+				continue // skipped by the encoder, so its kind never surfaces
+			}
+			if k := unencodableKind(f.Type(), seen); k != "" {
+				return k
+			}
+		}
+	}
+	return ""
+}
+
+// nodigestFields collects the declaration positions of struct fields
+// annotated //storemlp:nodigest (doc comment or trailing line comment).
+func nodigestFields(m *Module) map[token.Pos]bool {
+	out := map[token.Pos]bool{}
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if !commentHasMarker("storemlp:nodigest", field.Doc, field.Comment) {
+						continue
+					}
+					for _, name := range field.Names {
+						out[name.Pos()] = true
+					}
+					if len(field.Names) == 0 { // embedded field
+						out[field.Type.Pos()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// lookupNamedType resolves "pkgpath.Name" to the named type, or nil.
+func lookupNamedType(m *Module, key string) *types.Named {
+	pkg := m.Lookup(pkgOfKey(key))
+	if pkg == nil || pkg.Types == nil {
+		return nil
+	}
+	obj := pkg.Types.Scope().Lookup(key[strings.LastIndex(key, ".")+1:])
+	if obj == nil {
+		return nil
+	}
+	return namedOf(obj.Type())
+}
+
+// lookupFuncBody resolves "pkgpath.Func" to the function's AST body.
+func lookupFuncBody(m *Module, key string) *ast.BlockStmt {
+	pkg := m.Lookup(pkgOfKey(key))
+	if pkg == nil {
+		return nil
+	}
+	name := key[strings.LastIndex(key, ".")+1:]
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Recv == nil && fn.Name.Name == name {
+				return fn.Body
+			}
+		}
+	}
+	return nil
+}
+
+// pkgOfKey strips the final ".Name" segment from "pkgpath.Name".
+func pkgOfKey(key string) string {
+	i := strings.LastIndex(key, ".")
+	if i < 0 {
+		return key
+	}
+	return key[:i]
+}
+
+// typesIdentical compares two named types by identity of their
+// type-name objects (robust across instantiations).
+func typesIdentical(a, b *types.Named) bool { return a.Obj() == b.Obj() }

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak requires every goroutine launched from a context-taking
+// function to be provably bounded. A long-running service that spawns
+// an unjoined, uncancellable goroutine per request leaks goroutines at
+// request rate — the failure mode only shows up in production memory
+// graphs, never in short tests.
+//
+// A `go` statement is accepted when the spawned body (or call) shows
+// one of the join/exit disciplines:
+//
+//   - it calls Done() on a sync.WaitGroup (joined by Wait);
+//   - it sends on or closes a channel, or ranges over one (the
+//     goroutine is paced and reaped through channel hand-off);
+//   - it references a context.Context value — selecting on ctx.Done(),
+//     polling ctx.Err(), or forwarding the context into a call that
+//     honors cancellation;
+//   - the `go` statement or its enclosing function is annotated
+//     //storemlp:daemon, documenting an intentional process-lifetime
+//     goroutine.
+//
+// Anything else is reported. The rule only fires inside functions that
+// take a context.Context: those are the request paths where lifetime
+// is bounded by definition and a leak multiplies with load.
+type GoLeak struct{}
+
+// Name implements Analyzer.
+func (GoLeak) Name() string { return "goleak" }
+
+// Doc implements Analyzer.
+func (GoLeak) Doc() string {
+	return "goroutines spawned in context-taking functions are joined, channel-bounded or ctx-cancelled"
+}
+
+// Run implements Analyzer.
+func (a GoLeak) Run(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			daemonLines := annotationLines(m, f, "storemlp:daemon")
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if contextParam(pkg, fn) == nil {
+					continue
+				}
+				if commentHasMarker("storemlp:daemon", fn.Doc) {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					line := m.Fset.Position(gs.Pos()).Line
+					if daemonLines[line] || daemonLines[line-1] {
+						return true
+					}
+					if goStmtBounded(pkg, gs) {
+						return true
+					}
+					out = append(out, Diagnostic{
+						Pos:  m.Fset.Position(gs.Pos()),
+						Rule: a.Name(),
+						Message: fmt.Sprintf("goroutine in context-taking function %s has no WaitGroup join, channel hand-off or ctx exit (bound it, or annotate //storemlp:daemon)",
+							fn.Name.Name),
+					})
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// annotationLines maps source lines whose comments carry the marker —
+// so a //storemlp:daemon on or immediately above a `go` statement can
+// bless that statement alone.
+func annotationLines(m *Module, f *ast.File, marker string) map[int]bool {
+	lines := map[int]bool{}
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			if commentHasMarker(marker, &ast.CommentGroup{List: []*ast.Comment{c}}) {
+				lines[m.Fset.Position(c.End()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// goStmtBounded reports whether the spawned goroutine shows a join or
+// exit discipline.
+func goStmtBounded(pkg *Package, gs *ast.GoStmt) bool {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		if bodyBounded(pkg, lit.Body) {
+			return true
+		}
+		// Arguments evaluated at spawn don't bound the goroutine, but a
+		// captured context passed through the literal's parameters does.
+		for _, arg := range gs.Call.Args {
+			if exprIsContext(pkg, arg) {
+				return true
+			}
+		}
+		return false
+	}
+	// go obj.method(ctx, ...): forwarding a context into the spawned
+	// call is the cancellation hand-off.
+	for _, arg := range gs.Call.Args {
+		if exprIsContext(pkg, arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyBounded scans a spawned function body for WaitGroup.Done calls,
+// channel operations, or context references.
+func bodyBounded(pkg *Package, body *ast.BlockStmt) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			bounded = true
+			return false
+		case *ast.UnaryExpr:
+			// <-ch: pacing by receive also reaps the goroutine when the
+			// producer closes the channel.
+			if x.Op.String() == "<-" {
+				bounded = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					bounded = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(pkg, x) || isChanClose(pkg, x) {
+				bounded = true
+				return false
+			}
+		case *ast.Ident:
+			if exprIsContext(pkg, x) {
+				bounded = true
+				return false
+			}
+		}
+		return true
+	})
+	return bounded
+}
+
+// isWaitGroupDone matches wg.Done() on a sync.WaitGroup.
+func isWaitGroupDone(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	named := namedOf(tv.Type)
+	return named != nil && typeKey(named) == "sync.WaitGroup"
+}
+
+// isChanClose matches close(ch).
+func isChanClose(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// exprIsContext reports whether e's type is context.Context.
+func exprIsContext(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Type != nil && tv.Type.String() == "context.Context"
+}

@@ -1,0 +1,500 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// lockAfterRe extracts the predecessor lock from a
+// //storemlp:lockafter(<mu>) annotation on a mutex declaration.
+var lockAfterRe = regexp.MustCompile(`storemlp:lockafter\(([^)]+)\)`)
+
+// LockOrder builds a static lock-acquisition graph over the whole
+// module and reports cycles as potential deadlocks. It reuses the
+// guardedby walker's lexical discipline: a mutex is "held" from its
+// X.Lock()/X.RLock() statement until the matching unlock in the same
+// statement list (a deferred unlock holds to function end), and
+// acquiring lock B while lock A is held adds the edge A → B.
+//
+// Locks are identified at type granularity — "pkg.Type.field" for a
+// mutex struct field, "pkg.var" for a package-level mutex — because a
+// deadlock needs two goroutines taking the same two locks in opposite
+// orders, and goroutines agree on types, not on variable spellings.
+// Acquiring a lock of the same identity while one is already held is a
+// self-cycle: two instances locked in address-dependent order by
+// concurrent goroutines deadlock just like two distinct locks do.
+//
+// A declaration comment //storemlp:lockafter(<mu>) on a mutex field or
+// variable declares that this lock is always acquired after <mu>
+// (matched against the full identity or its suffix). Declared edges
+// are the intended order: they are removed from the graph before cycle
+// detection, and an observed acquisition in the opposite direction is
+// reported immediately as an ordering violation.
+type LockOrder struct{}
+
+// Name implements Analyzer.
+func (LockOrder) Name() string { return "lockorder" }
+
+// Doc implements Analyzer.
+func (LockOrder) Doc() string {
+	return "the static lock-acquisition graph is acyclic (declare intended order with //storemlp:lockafter)"
+}
+
+// lockEdge is one observed nested acquisition: from held to acquired.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// Run implements Analyzer.
+func (a LockOrder) Run(m *Module) []Diagnostic {
+	after := collectLockAfter(m)
+	var edges []lockEdge
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				w := &orderWalker{pkg: pkg, edges: &edges}
+				w.stmts(fn.Body.List, nil)
+			}
+		}
+	}
+
+	var out []Diagnostic
+	// Ordering violations: an edge that contradicts a declaration.
+	graph := map[string]map[string]token.Pos{}
+	for _, e := range edges {
+		if declaredAfter(after, e.from, e.to) {
+			// e.from declares lockafter(e.to), but we saw from → to.
+			out = append(out, Diagnostic{
+				Pos:  m.Fset.Position(e.pos),
+				Rule: a.Name(),
+				Message: fmt.Sprintf("%s acquired while %s is held, but %s declares //storemlp:lockafter(%s)",
+					shortLock(e.to), shortLock(e.from), shortLock(e.from), shortLock(e.to)),
+			})
+			continue
+		}
+		if declaredAfter(after, e.to, e.from) {
+			continue // blessed: e.to is declared to come after e.from
+		}
+		if graph[e.from] == nil {
+			graph[e.from] = map[string]token.Pos{}
+		}
+		if old, ok := graph[e.from][e.to]; !ok || e.pos < old {
+			graph[e.from][e.to] = e.pos
+		}
+	}
+
+	for _, cyc := range lockCycles(graph) {
+		names := make([]string, len(cyc)+1)
+		for i, id := range cyc {
+			names[i] = shortLock(id)
+		}
+		names[len(cyc)] = shortLock(cyc[0])
+		pos := graph[cyc[0]][cyc[1%len(cyc)]]
+		if len(cyc) == 1 {
+			pos = graph[cyc[0]][cyc[0]]
+		}
+		out = append(out, Diagnostic{
+			Pos:  m.Fset.Position(pos),
+			Rule: a.Name(),
+			Message: fmt.Sprintf("lock-acquisition cycle %s (potential deadlock; fix the order or declare it with //storemlp:lockafter)",
+				strings.Join(names, " -> ")),
+		})
+	}
+	return out
+}
+
+// declaredAfter reports whether lock b carries a lockafter declaration
+// matching lock a ("b is acquired after a").
+func declaredAfter(after map[string][]string, b, a string) bool {
+	for _, spec := range after[b] {
+		if spec == a || strings.HasSuffix(a, "."+spec) {
+			return true
+		}
+	}
+	return false
+}
+
+// shortLock renders a lock identity without its package-path prefix
+// ("storemlp/internal/sim.Pool.mu" -> "sim.Pool.mu").
+func shortLock(id string) string {
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// collectLockAfter gathers //storemlp:lockafter declarations from
+// mutex-typed struct fields and package-level variables.
+func collectLockAfter(m *Module) map[string][]string {
+	after := map[string][]string{}
+	add := func(id string, groups ...*ast.CommentGroup) {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				for _, match := range lockAfterRe.FindAllStringSubmatch(c.Text, -1) {
+					after[id] = append(after[id], strings.TrimSpace(match[1]))
+				}
+			}
+		}
+	}
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						st, ok := sp.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						obj := pkg.Info.Defs[sp.Name]
+						named := namedOf(objType(obj))
+						if named == nil {
+							continue
+						}
+						for _, field := range st.Fields.List {
+							for _, name := range field.Names {
+								add(typeKey(named)+"."+name.Name, field.Doc, field.Comment)
+							}
+						}
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							add(pkg.Path+"."+name.Name, gd.Doc, sp.Doc, sp.Comment)
+						}
+					}
+				}
+			}
+		}
+	}
+	return after
+}
+
+// objType returns obj.Type() tolerating nil objects.
+func objType(obj types.Object) types.Type {
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}
+
+// orderWalker tracks the lexically held lock identities, in
+// acquisition order, through one function body. The traversal mirrors
+// guardWalker: locks persist across later statements of the same list
+// and into nested blocks, and do not leak past the block that took
+// them; function literals start with an empty held list (they may run
+// on another goroutine).
+type orderWalker struct {
+	pkg   *Package
+	edges *[]lockEdge
+}
+
+func (w *orderWalker) stmts(list []ast.Stmt, held []string) {
+	h := append([]string(nil), held...)
+	for _, s := range list {
+		h = w.stmt(s, h)
+	}
+}
+
+// stmt processes one statement and returns the updated held list.
+func (w *orderWalker) stmt(s ast.Stmt, held []string) []string {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, op := w.lockIdentity(call); id != "" {
+				switch op {
+				case lockAcquire:
+					for _, from := range held {
+						*w.edges = append(*w.edges, lockEdge{from: from, to: id, pos: call.Pos()})
+					}
+					return append(held, id)
+				case lockRelease:
+					return removeLock(held, id)
+				}
+			}
+		}
+		w.nested(st.X, held)
+	case *ast.DeferStmt:
+		if _, op := lockCall(st.Call); op == lockRelease {
+			return held // deferred unlock: held to function end
+		}
+		w.nested(st.Call, held)
+	case *ast.BlockStmt:
+		w.stmts(st.List, held)
+	case *ast.IfStmt:
+		h := append([]string(nil), held...)
+		if st.Init != nil {
+			h = w.stmt(st.Init, h)
+		}
+		w.nested(st.Cond, h)
+		w.stmts(st.Body.List, h)
+		if st.Else != nil {
+			w.stmt(st.Else, h)
+		}
+	case *ast.ForStmt:
+		h := append([]string(nil), held...)
+		if st.Init != nil {
+			h = w.stmt(st.Init, h)
+		}
+		w.stmts(st.Body.List, h)
+	case *ast.RangeStmt:
+		w.nested(st.X, held)
+		w.stmts(st.Body.List, held)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, held)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, held)
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			h := append([]string(nil), held...)
+			if cc.Comm != nil {
+				h = w.stmt(cc.Comm, h)
+			}
+			w.stmts(cc.Body, h)
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, held)
+	default:
+		w.nested(s, held)
+	}
+	return held
+}
+
+// nested walks an expression or simple statement for function literals,
+// which are analyzed with an empty held list.
+func (w *orderWalker) nested(n ast.Node, held []string) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if lit, ok := c.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, nil)
+			return false
+		}
+		return true
+	})
+}
+
+// lockIdentity classifies call as a lock operation and resolves the
+// mutex to a stable type-level identity, or "" for locks the analyzer
+// cannot name (local mutex variables, opaque expressions).
+func (w *orderWalker) lockIdentity(call *ast.CallExpr) (string, int) {
+	if len(call.Args) != 0 {
+		return "", lockNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	var op int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = lockAcquire
+	case "Unlock", "RUnlock":
+		op = lockRelease
+	default:
+		return "", lockNone
+	}
+	if !isMutexExpr(w.pkg, sel.X) {
+		return "", lockNone
+	}
+	switch mu := sel.X.(type) {
+	case *ast.SelectorExpr:
+		// x.mu: a mutex field — identity is its owning named type.
+		if selection, ok := w.pkg.Info.Selections[mu]; ok && selection.Kind() == types.FieldVal {
+			if named := namedOf(selection.Recv()); named != nil {
+				return typeKey(named) + "." + mu.Sel.Name, op
+			}
+		}
+		// pkg.Mu: a qualified package-level mutex.
+		if obj := w.pkg.Info.Uses[mu.Sel]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && objIsPkgLevel(v) {
+				return v.Pkg().Path() + "." + v.Name(), op
+			}
+		}
+	case *ast.Ident:
+		if obj := w.pkg.Info.Uses[mu]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && objIsPkgLevel(v) {
+				return v.Pkg().Path() + "." + v.Name(), op
+			}
+		}
+	}
+	return "", lockNone
+}
+
+// objIsPkgLevel reports whether v is declared at package scope.
+func objIsPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isMutexExpr reports whether e's type is sync.Mutex or sync.RWMutex
+// (possibly behind a pointer).
+func isMutexExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	named := namedOf(tv.Type)
+	if named == nil {
+		return false
+	}
+	key := typeKey(named)
+	return key == "sync.Mutex" || key == "sync.RWMutex"
+}
+
+// removeLock drops the last occurrence of id from held.
+func removeLock(held []string, id string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == id {
+			return append(append([]string(nil), held[:i]...), held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// lockCycles finds the cycles of the acquisition graph: one per
+// strongly connected component with more than one node, plus
+// self-loops. Components and the cycle path inside each are rendered
+// deterministically (lexicographic node order).
+func lockCycles(graph map[string]map[string]token.Pos) [][]string {
+	nodes := make([]string, 0, len(graph))
+	seen := map[string]bool{}
+	for from, tos := range graph {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	// Tarjan's strongly connected components, iterative enough for the
+	// small graphs a module produces.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		tos := make([]string, 0, len(graph[v]))
+		for to := range graph[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if _, ok := index[to]; !ok {
+				strongconnect(to)
+				if low[to] < low[v] {
+					low[v] = low[to]
+				}
+			} else if onStack[to] && index[to] < low[v] {
+				low[v] = index[to]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				n := len(stack) - 1
+				w := stack[n]
+				stack = stack[:n]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+
+	var cycles [][]string
+	for _, comp := range sccs {
+		if len(comp) == 1 {
+			v := comp[0]
+			if _, self := graph[v][v]; self {
+				cycles = append(cycles, []string{v})
+			}
+			continue
+		}
+		cycles = append(cycles, cyclePath(comp, graph))
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i][0] < cycles[j][0] })
+	return cycles
+}
+
+// cyclePath renders one representative cycle through a multi-node SCC:
+// starting from the smallest node, follow the smallest in-component
+// successor until the walk returns to a visited node.
+func cyclePath(comp []string, graph map[string]map[string]token.Pos) []string {
+	in := map[string]bool{}
+	for _, v := range comp {
+		in[v] = true
+	}
+	path := []string{comp[0]}
+	visited := map[string]bool{comp[0]: true}
+	cur := comp[0]
+	for {
+		tos := make([]string, 0, len(graph[cur]))
+		for to := range graph[cur] {
+			if in[to] {
+				tos = append(tos, to)
+			}
+		}
+		sort.Strings(tos)
+		if len(tos) == 0 {
+			return path // cannot happen in an SCC; defensive
+		}
+		nextNode := tos[0]
+		// Prefer closing back to the path start when possible.
+		for _, to := range tos {
+			if to == path[0] {
+				nextNode = to
+				break
+			}
+		}
+		if visited[nextNode] {
+			return path
+		}
+		visited[nextNode] = true
+		path = append(path, nextNode)
+		cur = nextNode
+	}
+}

@@ -1,0 +1,47 @@
+// Package counters exercises the atomicfield analyzer: S.hits is a
+// typed atomic read correctly via Load but also copied plainly, and
+// S.raw is passed to atomic.AddInt64 in one method yet incremented
+// plainly in another.
+package counters
+
+import "sync/atomic"
+
+// S mixes sanctioned and plain access to its atomic fields.
+type S struct {
+	hits atomic.Int64
+	raw  int64
+	name string
+}
+
+// Inc uses the atomic API for both fields: all sanctioned.
+func (s *S) Inc() {
+	s.hits.Add(1)
+	atomic.AddInt64(&s.raw, 1)
+}
+
+// Snapshot reads both atomically: sanctioned.
+func (s *S) Snapshot() (int64, int64) {
+	return s.hits.Load(), atomic.LoadInt64(&s.raw)
+}
+
+// Copy copies the typed atomic plainly: finding.
+func (s *S) Copy() atomic.Int64 {
+	return s.hits
+}
+
+// Bump increments the raw atomic field plainly: finding.
+func (s *S) Bump() {
+	s.raw++
+}
+
+// Name touches only the non-atomic field: clean.
+func (s *S) Name() string {
+	return s.name
+}
+
+// handOff passes the typed atomic by address: sanctioned.
+func handOff(s *S) *atomic.Int64 {
+	return &s.hits
+}
+
+var _ = handOff

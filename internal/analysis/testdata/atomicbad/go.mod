@@ -1,0 +1,3 @@
+module example.com/atomicbad
+
+go 1.21

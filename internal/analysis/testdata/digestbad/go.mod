@@ -1,0 +1,3 @@
+module example.com/digestbad
+
+go 1.21

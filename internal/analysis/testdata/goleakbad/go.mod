@@ -1,0 +1,3 @@
+module example.com/goleakbad
+
+go 1.21

@@ -1,0 +1,86 @@
+// Package spawn exercises the goleak analyzer: Leak and Fire launch
+// unbounded goroutines from context-taking functions, while the other
+// functions show each accepted join/exit discipline.
+package spawn
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Leak spawns a goroutine with no join, channel or ctx exit: finding.
+func Leak(ctx context.Context) {
+	go func() {
+		work()
+	}()
+}
+
+// Fire spawns a bare call with no context forwarded: finding.
+func Fire(ctx context.Context) {
+	go work()
+}
+
+// Joined is reaped through a WaitGroup: clean.
+func Joined(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Handoff paces and reaps through a channel: clean.
+func Handoff(ctx context.Context) <-chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	return ch
+}
+
+// Cancelled exits when the context does: clean.
+func Cancelled(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// Forwarded hands the context to the spawned call: clean.
+func Forwarded(ctx context.Context) {
+	go serve(ctx)
+}
+
+func serve(ctx context.Context) { <-ctx.Done() }
+
+// Pinned documents an intentional process-lifetime goroutine on the
+// statement itself: clean.
+func Pinned(ctx context.Context) {
+	//storemlp:daemon
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// background is a whole-function daemon: clean.
+//
+//storemlp:daemon
+func background(ctx context.Context) {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+var _ = background
+
+// NoCtx takes no context, so the rule does not apply: clean.
+func NoCtx() {
+	go work()
+}

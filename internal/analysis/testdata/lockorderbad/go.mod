@@ -1,0 +1,3 @@
+module example.com/lockorderbad
+
+go 1.21

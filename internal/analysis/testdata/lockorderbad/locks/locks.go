@@ -1,0 +1,93 @@
+// Package locks exercises the lockorder analyzer: A/B are locked in
+// opposite orders by two functions (a two-lock cycle), Node is locked
+// twice at the same type (a self-cycle), and the P/C pair shows both a
+// blessed //storemlp:lockafter ordering and a violation of it.
+package locks
+
+import "sync"
+
+// A and B form the classic two-lock deadlock.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// TransferAB takes A then B.
+func TransferAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.n, b.n = b.n, a.n
+}
+
+// TransferBA takes B then A: the opposite order.
+func TransferBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.n, a.n = a.n, b.n
+}
+
+// Node self-cycles: two instances of the same type locked nested means
+// concurrent goroutines can take them in address-dependent order.
+type Node struct {
+	mu   sync.Mutex
+	next *Node
+	v    int
+}
+
+// Link locks two Nodes at once.
+func Link(x, y *Node) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.next = y
+}
+
+// P is the parent lock of the blessed pair.
+type P struct {
+	mu sync.Mutex
+	cs []*C
+}
+
+// C declares that its lock nests inside P's.
+type C struct {
+	mu sync.Mutex //storemlp:lockafter(P.mu)
+	v  int
+}
+
+// Blessed acquires in the declared order: no finding.
+func Blessed(p *P, c *C) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v++
+}
+
+// Violation acquires against the declared order.
+func Violation(p *P, c *C) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cs = append(p.cs, c)
+}
+
+// Unnested takes each lock on its own: never an edge.
+func Unnested(a *A, b *B) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseExposition hammers the Prometheus text-format parser with
+// arbitrary input: whatever the bytes, the parser must return cleanly —
+// families or an error — without panicking, looping, or accepting an
+// exposition that then trips ValidateExposition's internal invariants.
+// A real registry render seeds the corpus so the fuzzer starts from the
+// grammar's happy path and mutates outward.
+func FuzzParseExposition(f *testing.F) {
+	// Corpus seed 1: a full registry render — counter, gauge, float
+	// gauge, histogram with labels, and an info metric.
+	reg := NewRegistry()
+	reg.Counter("fuzz_requests_total", "Requests.", "mode", "warm").Add(42)
+	reg.Gauge("fuzz_inflight", "In-flight requests.").Set(3)
+	reg.FloatGauge("fuzz_ratio", "A ratio.").Set(0.25)
+	h := reg.Histogram("fuzz_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1}, "path", "/run")
+	for _, v := range []float64{0.0004, 0.02, 0.5} {
+		h.Observe(v)
+	}
+	reg.Info("fuzz_build_info", "Build info.", "version", "v1.2.3")
+	var render bytes.Buffer
+	if _, err := reg.WriteTo(&render); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(render.Bytes())
+
+	// Grammar corners: escapes, +Inf/NaN values, empty label blocks,
+	// near-miss headers, and truncations.
+	f.Add([]byte("# HELP m Help text.\n# TYPE m counter\nm 1\n"))
+	f.Add([]byte("# HELP m H.\n# TYPE m gauge\nm{a=\"b\\\\c\\\"d\\ne\"} -2.5e3\n"))
+	f.Add([]byte("# HELP m H.\n# TYPE m untyped\nm{} +Inf\nm2 NaN\n"))
+	f.Add([]byte("# just a comment\n\n# HELP\n# TYPE m\n"))
+	f.Add([]byte("m_no_header 1\n"))
+	f.Add([]byte("# HELP m H.\n# TYPE m histogram\nm_bucket{le=\"+Inf\"} 1\nm_sum 1\nm_count 1\n"))
+	f.Add([]byte("# HELP m H.\n# TYPE m counter\nm{a=\"unterminated\n"))
+	f.Add([]byte("# HELP m H.\n# TYPE m counter\nm 1 1700000000\n"))
+	f.Add([]byte(strings.Repeat("# HELP", 1000)))
+	f.Add([]byte{0x00, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fams, err := ParseExposition(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as we got here
+		}
+		// Accepted expositions must honor the parser's own postconditions:
+		// well-formed names, declared types only, no empty family objects.
+		seen := map[string]bool{}
+		for _, fam := range fams {
+			if fam.Name == "" {
+				t.Fatalf("parser accepted a family with an empty name: %+v", fam)
+			}
+			if seen[fam.Name] {
+				t.Fatalf("parser emitted duplicate family %q", fam.Name)
+			}
+			seen[fam.Name] = true
+			switch fam.Type {
+			case "", "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("family %q has undeclared type %q", fam.Name, fam.Type)
+			}
+			for _, s := range fam.Samples {
+				if s.Name == "" {
+					t.Fatalf("family %q holds a sample with an empty name", fam.Name)
+				}
+			}
+		}
+		// ValidateExposition layers semantics on top; it may reject, but
+		// must not panic on anything the parser let through.
+		_, _ = ValidateExposition(bytes.NewReader(data))
+	})
+}

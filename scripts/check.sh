@@ -12,16 +12,55 @@ go build ./...
 echo '>> go vet ./...'
 go vet ./...
 
+tmpdir=$(mktemp -d)
+smoke_cleanup() {
+    [ -n "${smoke_pid:-}" ] && kill "$smoke_pid" 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap smoke_cleanup EXIT
+
+echo '>> storemlpvet build'
+# Compile the vet tool on its own first: a broken analyzer must fail
+# loudly as a build error, never be mistaken for (or hide) findings.
+go build -o "$tmpdir/storemlpvet" ./cmd/storemlpvet || {
+    echo 'storemlpvet: the vet tool itself failed to build (fix cmd/storemlpvet and internal/analysis before trusting any findings)'
+    exit 3
+}
+
+echo '>> storemlpvet -list (thirteen rules)'
+# The -list smoke proves every analyzer is actually wired into the
+# default suite — a rule dropped from DefaultAnalyzers would otherwise
+# pass the clean-tree check by silently not running.
+vet_rules=$("$tmpdir/storemlpvet" -list)
+echo "$vet_rules"
+for rule in exhaustive-enum validate-coverage stats-drift floatcmp ctxmut \
+    resetcomplete guardedby hotpath ctxpoll \
+    lockorder atomicfield goleak digestcover; do
+    echo "$vet_rules" | grep -q "^$rule " || {
+        echo "storemlpvet: rule $rule missing from -list (not wired into DefaultAnalyzers?)"
+        exit 1
+    }
+done
+
 echo '>> storemlpvet ./... (-json)'
 # The -json contract is part of the gate: a clean run exits 0 AND emits
 # an empty array. Findings (exit 1) or a load error (exit 2) fail here;
 # hotpath consults go build -gcflags=-m=2, so this also gates the
 # allocation-free/inlining claims of the hot paths.
-vet_out=$(go run ./cmd/storemlpvet -json ./...) || {
+vet_out=$("$tmpdir/storemlpvet" -json ./...) && vet_code=0 || vet_code=$?
+case $vet_code in
+0) ;;
+1)
     echo "$vet_out"
     echo 'storemlpvet: findings reported'
     exit 1
-}
+    ;;
+*)
+    echo "$vet_out"
+    echo "storemlpvet: load/internal error (exit $vet_code)"
+    exit "$vet_code"
+    ;;
+esac
 [ "$vet_out" = "[]" ] || {
     echo "$vet_out"
     echo 'storemlpvet: non-empty JSON despite clean exit'
@@ -35,12 +74,6 @@ echo '>> benchmark smoke (1 iteration)'
 go test -run '^$' -bench '^(BenchmarkEngine|BenchmarkEngineTraced|BenchmarkTraceCodec)$' -benchtime 1x -benchmem .
 
 echo '>> mlpsimd smoke test (with observability checks)'
-tmpdir=$(mktemp -d)
-smoke_cleanup() {
-    [ -n "${smoke_pid:-}" ] && kill "$smoke_pid" 2>/dev/null || true
-    rm -rf "$tmpdir"
-}
-trap smoke_cleanup EXIT
 go build -o "$tmpdir/mlpsimd" ./cmd/mlpsimd
 go build -o "$tmpdir/mlpload" ./cmd/mlpload
 "$tmpdir/mlpsimd" -addr 127.0.0.1:0 -drain 10s -trace-out "$tmpdir/run.trace.json" \
