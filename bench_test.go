@@ -7,11 +7,13 @@ package storemlp
 // Headline results are attached as custom benchmark metrics.
 
 import (
+	"bytes"
 	"context"
 	"testing"
 
 	"storemlp/internal/epoch"
 	"storemlp/internal/experiments"
+	"storemlp/internal/isa"
 	"storemlp/internal/obs"
 	"storemlp/internal/sim"
 	"storemlp/internal/trace"
@@ -281,17 +283,96 @@ func BenchmarkEngineReplay(b *testing.B) {
 	}
 }
 
-// BenchmarkTraceCodec measures the binary trace round-trip rate.
-func BenchmarkTraceCodec(b *testing.B) {
+// BenchmarkEngineTraceDriven is BenchmarkEngine fed from a
+// pre-encoded columnar trace instead of the synthetic generator: the
+// delta against BenchmarkEngine is the full cost of the trace path
+// (decode + batch plumbing). scripts/bench.sh records the ratio as
+// trace_driven_vs_synthetic; the columnar decoder is cheap enough that
+// it should stay within 20% of the generator path.
+func BenchmarkEngineTraceDriven(b *testing.B) {
+	const n = 500_000
+	var buf bytes.Buffer
+	if _, err := WriteTraceFormat(&buf, Database(1), DefaultConfig(), n, TraceColumnar); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := RunTrace(bytes.NewReader(enc), DefaultConfig(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Insts != n {
+			b.Fatalf("trace run measured %d insts, want %d", s.Insts, n)
+		}
+	}
+}
+
+// encodedBenchTrace builds one n-instruction TPC-W trace in the given
+// format, outside the timed region.
+func encodedBenchTrace(b *testing.B, n int64, f TraceFormat) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if _, err := WriteTraceFormat(&buf, TPCW(1), DefaultConfig(), n, f); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// benchTraceDecode measures pure decode throughput: a pre-encoded
+// trace pulled through ReadBatch into the engine's 4096-inst batch
+// buffer, exactly the shape RunTrace uses. The legacy codec allocates
+// per instruction (~200k allocs here); the columnar codec decodes the
+// same stream in O(blocks) allocations.
+func benchTraceDecode(b *testing.B, f TraceFormat) {
+	const n = 200_000
+	enc := encodedBenchTrace(b, n, f)
+	batch := make([]isa.Inst, 4096)
+	b.SetBytes(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := trace.NewAutoReader(bytes.NewReader(enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total int64
+		for {
+			k := src.ReadBatch(batch)
+			if k == 0 {
+				break
+			}
+			total += int64(k)
+		}
+		if err := src.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if total != n {
+			b.Fatalf("decoded %d insts, want %d", total, n)
+		}
+	}
+}
+
+func BenchmarkTraceDecodeLegacy(b *testing.B)   { benchTraceDecode(b, TraceLegacy) }
+func BenchmarkTraceDecodeColumnar(b *testing.B) { benchTraceDecode(b, TraceColumnar) }
+
+// benchTraceEncode measures generation + encoding into a discarding
+// writer, the tracegen hot path.
+func benchTraceEncode(b *testing.B, f TraceFormat) {
 	const n = 200_000
 	b.SetBytes(n)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var sink countWriter
-		if _, err := WriteTrace(&sink, TPCW(1), DefaultConfig(), n); err != nil {
+		if _, err := WriteTraceFormat(&sink, TPCW(1), DefaultConfig(), n, f); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkTraceEncodeLegacy(b *testing.B)   { benchTraceEncode(b, TraceLegacy) }
+func BenchmarkTraceEncodeColumnar(b *testing.B) { benchTraceEncode(b, TraceColumnar) }
 
 type countWriter struct{ n int64 }
 

@@ -48,7 +48,10 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer f.Close()
-	reader, err := trace.NewReader(f)
+	// Either trace format, autodetected by magic bytes; the output (if
+	// any) stays in the legacy format, matching the detector's
+	// streaming one-pass shape.
+	reader, err := trace.NewAutoReader(f)
 	if err != nil {
 		return err
 	}

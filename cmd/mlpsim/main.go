@@ -134,12 +134,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	var wk storemlp.Workload
 	haveWorkload := false
 	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		stats, err = storemlp.RunTraceContext(ctx, f, cfg, *warm)
+		// Format is autodetected from the magic bytes; columnar traces
+		// run through the mmap-backed random-access reader, so even
+		// huge traces are paged in block by block.
+		var err error
+		stats, err = storemlp.RunTraceFileContext(ctx, *traceFile, cfg, *warm)
 		if err != nil {
 			return fmt.Errorf("running trace: %w", err)
 		}

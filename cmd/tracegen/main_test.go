@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -48,6 +49,55 @@ func TestTracegenWCAndSLE(t *testing.T) {
 	}
 }
 
+// TestTracegenFormatRoundTrip proves the two formats carry the same
+// instruction stream: generating columnar directly and converting a
+// legacy trace to columnar must produce byte-identical files, and
+// converting back must reproduce the legacy original exactly.
+func TestTracegenFormatRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	legacy := filepath.Join(dir, "legacy.trace")
+	columnar := filepath.Join(dir, "columnar.trace")
+	converted := filepath.Join(dir, "converted.trace")
+	roundtrip := filepath.Join(dir, "roundtrip.trace")
+
+	gen := []string{"-workload", "tpcw", "-n", "30000", "-seed", "9"}
+	var out strings.Builder
+	if err := run(append(gen, "-format", "legacy", "-o", legacy), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "format=legacy") {
+		t.Errorf("output: %s", out.String())
+	}
+	if err := run(append(gen, "-format", "columnar", "-o", columnar), &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-convert", legacy, "-format", "columnar", "-o", converted}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "converted 30000 instructions") {
+		t.Errorf("convert output: %s", out.String())
+	}
+	if err := run([]string{"-convert", converted, "-format", "legacy", "-o", roundtrip}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(p string) []byte {
+		t.Helper()
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Equal(read(columnar), read(converted)) {
+		t.Error("direct columnar generation and legacy->columnar conversion differ")
+	}
+	if !bytes.Equal(read(legacy), read(roundtrip)) {
+		t.Error("legacy -> columnar -> legacy round trip is not byte-identical")
+	}
+}
+
 func TestTracegenErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-workload", "tpcw"}, &out); err == nil {
@@ -58,5 +108,11 @@ func TestTracegenErrors(t *testing.T) {
 	}
 	if err := run([]string{"-o", filepath.Join(t.TempDir(), "nodir", "x")}, &out); err == nil {
 		t.Error("uncreatable file should error")
+	}
+	if err := run([]string{"-format", "parquet", "-o", "/tmp/x"}, &out); err == nil {
+		t.Error("unknown format should error")
+	}
+	if err := run([]string{"-convert", filepath.Join(t.TempDir(), "missing"), "-o", "/tmp/x"}, &out); err == nil {
+		t.Error("missing convert input should error")
 	}
 }

@@ -15,12 +15,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -197,6 +199,90 @@ func findPackageDirs(root string) ([]string, error) {
 	return dirs, err
 }
 
+// knownGOOS / knownGOARCH are the platform names a file suffix can
+// select, per `go tool dist list`.
+var knownGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownGOARCH = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// unixGOOS mirrors the toolchain's "unix" build tag.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// buildTagSatisfied reports whether a single //go:build tag holds on
+// the host platform. Release tags (go1.x) and the default compiler tag
+// are always on.
+func buildTagSatisfied(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixGOOS[runtime.GOOS]
+	case tag == "gc" || strings.HasPrefix(tag, "go1."):
+		return true
+	default:
+		return false
+	}
+}
+
+// fileBuilds reports whether the file takes part in the host-platform
+// build: its _GOOS / _GOARCH / _GOOS_GOARCH filename suffix (if any)
+// names the host, and its //go:build line (if any) evaluates true.
+func fileBuilds(name string, src []byte) bool {
+	base := strings.TrimSuffix(name, ".go")
+	if parts := strings.Split(base, "_"); len(parts) > 1 {
+		last := parts[len(parts)-1]
+		prev := ""
+		if len(parts) > 2 {
+			prev = parts[len(parts)-2]
+		}
+		switch {
+		case knownGOOS[prev] && knownGOARCH[last]:
+			if prev != runtime.GOOS || last != runtime.GOARCH {
+				return false
+			}
+		case knownGOOS[last]:
+			if last != runtime.GOOS {
+				return false
+			}
+		case knownGOARCH[last]:
+			if last != runtime.GOARCH {
+				return false
+			}
+		}
+	}
+	// A //go:build line must appear before the package clause; scan
+	// the header lines only.
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !strings.HasPrefix(trimmed, "//go:build ") {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return true // malformed constraint: let the parser complain
+		}
+		return expr.Eval(buildTagSatisfied)
+	}
+	return true
+}
+
 // parseDir parses the non-test files of one directory and returns the
 // package plus its module-internal import paths. A nil package means
 // the directory holds no buildable files.
@@ -213,7 +299,18 @@ func parseDir(fset *token.FileSet, dir, path, modPath string) (*Package, []strin
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		// Respect build constraints for the host platform, the way the
+		// real toolchain does: a _linux.go / _windows.go suffix or a
+		// //go:build line selecting another GOOS would otherwise make
+		// platform-gated pairs look like redeclarations.
+		if !fileBuilds(name, src) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), src, parser.ParseComments)
 		if err != nil {
 			return nil, nil, err
 		}

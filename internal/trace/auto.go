@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"storemlp/internal/isa"
+	"storemlp/internal/trace/colv1"
+)
+
+// This file is the format-dispatch layer over the two on-disk codecs:
+// the legacy record-at-a-time "SMLT" format (codec.go) and the
+// columnar "SMLC" block format (internal/trace/colv1). Both start with
+// a distinct four-byte magic, so every consumer — mlpsim, lockdetect,
+// the service — reads either format through NewAutoReader/OpenFile
+// without being told which it has.
+
+// Format selects an on-disk trace encoding.
+type Format int
+
+const (
+	// FormatLegacy is the original record-at-a-time varint format
+	// ("SMLT"): simple, streamable, but it costs one allocation and
+	// two varint reads per instruction to decode.
+	FormatLegacy Format = iota
+	// FormatColumnar is the block-based structure-of-arrays format
+	// ("SMLC"): per-block columns, delta/varint PCs and addresses,
+	// run-length kinds, a footer seek index, and O(blocks) decode
+	// allocations.
+	FormatColumnar
+)
+
+// String returns the name ParseFormat accepts.
+func (f Format) String() string {
+	switch f {
+	case FormatLegacy:
+		return "legacy"
+	case FormatColumnar:
+		return "columnar"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseFormat resolves "legacy" or "columnar".
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "legacy":
+		return FormatLegacy, nil
+	case "columnar":
+		return FormatColumnar, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown format %q (want legacy or columnar)", s)
+	}
+}
+
+// FileSource is what both trace codecs hand back: a batch-capable
+// instruction source with a terminal-error accessor — decoding
+// problems end the stream, and Err distinguishes a clean end from a
+// corrupt or truncated one.
+type FileSource interface {
+	BatchSource
+	Sized
+	Err() error
+}
+
+// NewAutoReader sniffs the magic bytes of r and returns a reader for
+// whichever trace format it holds. The returned source reads
+// sequentially; for seekable columnar access use OpenFile or
+// colv1.Open directly.
+func NewAutoReader(r io.Reader) (FileSource, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	m, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	switch string(m) {
+	case magic:
+		return NewReader(br)
+	case colv1.Magic:
+		return colv1.NewReader(br)
+	default:
+		return nil, ErrBadMagic
+	}
+}
+
+// OpenFile opens path as a trace, detecting the format from its magic
+// bytes. Columnar traces are opened through the random-access mmap
+// backend, so arbitrarily large traces cost no up-front read; legacy
+// traces stream through the file descriptor. The returned closer
+// releases the file or mapping and must be closed after the source is
+// drained.
+func OpenFile(path string) (FileSource, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var m [4]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace: reading magic of %s: %w", path, err)
+	}
+	if string(m[:]) == colv1.Magic {
+		f.Close()
+		cf, err := colv1.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cf.Reader, cf, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	src, err := NewAutoReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return src, f, nil
+}
+
+// WriteAllFormat writes every instruction from src into w in the given
+// format and returns the count written. The columnar path pulls whole
+// blocks through the batch interface, so encoding costs O(blocks)
+// allocations; the legacy path is the historical per-record loop.
+func WriteAllFormat(w io.Writer, src Source, f Format) (int64, error) {
+	switch f {
+	case FormatLegacy:
+		return WriteAll(w, src)
+	case FormatColumnar:
+		cw, err := colv1.NewWriter(w)
+		if err != nil {
+			return 0, err
+		}
+		buf := make([]isa.Inst, colv1.DefaultBlockLen)
+		for {
+			n := Fill(src, buf)
+			if n == 0 {
+				break
+			}
+			if werr := cw.WriteBatch(buf[:n]); werr != nil {
+				return cw.Count(), werr
+			}
+		}
+		if err := cw.Close(); err != nil {
+			return cw.Count(), err
+		}
+		return cw.Count(), nil
+	default:
+		return 0, fmt.Errorf("trace: unknown format %d", int(f))
+	}
+}
+
+// Convert re-encodes the trace on r — either format, autodetected —
+// into w in the target format, and returns the number of instructions
+// copied. The instruction stream is preserved exactly; a decode error
+// in the source aborts the conversion rather than silently truncating
+// the output.
+func Convert(w io.Writer, r io.Reader, f Format) (int64, error) {
+	src, err := NewAutoReader(r)
+	if err != nil {
+		return 0, err
+	}
+	n, err := WriteAllFormat(w, src, f)
+	if err != nil {
+		return n, err
+	}
+	if err := src.Err(); err != nil {
+		return n, fmt.Errorf("trace: source trace failed mid-conversion: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"storemlp/internal/isa"
+	"storemlp/internal/trace/colv1"
+	"storemlp/internal/workload"
+)
+
+// genStream returns a fresh deterministic workload source limited to n
+// instructions; calling it twice yields identical streams.
+func genStream(n int64) Source {
+	return Limit(workload.NewGenerator(workload.TPCW(7)), n)
+}
+
+// collect drains a source into a slice.
+func collect(t *testing.T, src Source) []isa.Inst {
+	t.Helper()
+	var out []isa.Inst
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// encodeFormat writes n generated instructions in the given format.
+func encodeFormat(t *testing.T, n int64, f Format) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	written, err := WriteAllFormat(&buf, genStream(n), f)
+	if err != nil {
+		t.Fatalf("WriteAllFormat(%s): %v", f, err)
+	}
+	if written != n {
+		t.Fatalf("WriteAllFormat(%s) wrote %d, want %d", f, written, n)
+	}
+	return buf.Bytes()
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Format
+		ok   bool
+	}{
+		{"legacy", FormatLegacy, true},
+		{"columnar", FormatColumnar, true},
+		{"", 0, false},
+		{"Columnar", 0, false},
+		{"smlc", 0, false},
+	} {
+		got, err := ParseFormat(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseFormat(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseFormat(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if FormatLegacy.String() != "legacy" || FormatColumnar.String() != "columnar" {
+		t.Errorf("Format.String: %q / %q", FormatLegacy, FormatColumnar)
+	}
+	if s := Format(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown format String() = %q", s)
+	}
+}
+
+// TestAutoReaderBothFormats encodes the same stream both ways and
+// checks NewAutoReader decodes each to the identical instruction
+// sequence — the format must be invisible to the consumer.
+func TestAutoReaderBothFormats(t *testing.T) {
+	const n = 10_000
+	want := collect(t, genStream(n))
+	for _, f := range []Format{FormatLegacy, FormatColumnar} {
+		enc := encodeFormat(t, n, f)
+		src, err := NewAutoReader(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("%s: NewAutoReader: %v", f, err)
+		}
+		// Neither streaming reader knows the count up front here: the
+		// legacy WriteAll header declares 0 (unknown), and a columnar
+		// stream only learns it at the footer.
+		if hint := src.SizeHint(); hint != -1 {
+			t.Errorf("%s: streaming SizeHint = %d, want -1", f, hint)
+		}
+		got := collect(t, src)
+		if err := src.Err(); err != nil {
+			t.Fatalf("%s: Err after drain: %v", f, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: decoded %d insts, want %d", f, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: inst %d = %+v, want %+v", f, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAutoReaderBadMagic(t *testing.T) {
+	if _, err := NewAutoReader(bytes.NewReader([]byte("XXXX trailing"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("unknown magic: err = %v, want ErrBadMagic", err)
+	}
+	if _, err := NewAutoReader(bytes.NewReader([]byte("SM"))); err == nil {
+		t.Error("short stream: want error, got nil")
+	}
+}
+
+// TestOpenFileBothFormats round-trips through real files: the legacy
+// path streams the descriptor, the columnar path goes through the
+// mmap-backed random-access reader.
+func TestOpenFileBothFormats(t *testing.T) {
+	const n = 8_192
+	want := collect(t, genStream(n))
+	dir := t.TempDir()
+	for _, f := range []Format{FormatLegacy, FormatColumnar} {
+		path := filepath.Join(dir, f.String()+".trace")
+		if err := os.WriteFile(path, encodeFormat(t, n, f), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		src, closer, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("%s: OpenFile: %v", f, err)
+		}
+		// The random-access columnar backend reads the footer eagerly,
+		// so the count is exact before a single instruction decodes.
+		if f == FormatColumnar {
+			if hint := src.SizeHint(); hint != n {
+				t.Errorf("columnar OpenFile SizeHint = %d, want %d", hint, n)
+			}
+		}
+		got := collect(t, src)
+		if err := src.Err(); err != nil {
+			t.Fatalf("%s: Err after drain: %v", f, err)
+		}
+		if err := closer.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", f, err)
+		}
+		if len(got) != n {
+			t.Fatalf("%s: decoded %d insts, want %d", f, len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: inst %d mismatch", f, i)
+			}
+		}
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := OpenFile(filepath.Join(dir, "missing.trace")); err == nil {
+		t.Error("missing file: want error")
+	}
+	bad := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(bad, []byte("GARBAGE!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("garbage file: err = %v, want ErrBadMagic", err)
+	}
+}
+
+// TestConvertRoundTrip drives legacy -> columnar -> legacy and checks
+// the final bytes equal a direct legacy encoding — conversion preserves
+// the instruction stream exactly in both directions.
+func TestConvertRoundTrip(t *testing.T) {
+	const n = 9_001 // deliberately not a block multiple
+	legacy := encodeFormat(t, n, FormatLegacy)
+
+	var col bytes.Buffer
+	if cn, err := Convert(&col, bytes.NewReader(legacy), FormatColumnar); err != nil || cn != n {
+		t.Fatalf("Convert to columnar: n=%d err=%v", cn, err)
+	}
+	if got := col.Bytes()[:4]; string(got) != colv1.Magic {
+		t.Fatalf("converted trace magic = %q, want %q", got, colv1.Magic)
+	}
+
+	var back bytes.Buffer
+	if cn, err := Convert(&back, bytes.NewReader(col.Bytes()), FormatLegacy); err != nil || cn != n {
+		t.Fatalf("Convert back to legacy: n=%d err=%v", cn, err)
+	}
+	if !bytes.Equal(back.Bytes(), legacy) {
+		t.Fatal("legacy -> columnar -> legacy is not byte-identical")
+	}
+
+	// Identity conversion (columnar -> columnar) must also be exact.
+	var again bytes.Buffer
+	if cn, err := Convert(&again, bytes.NewReader(col.Bytes()), FormatColumnar); err != nil || cn != n {
+		t.Fatalf("Convert columnar -> columnar: n=%d err=%v", cn, err)
+	}
+	if !bytes.Equal(again.Bytes(), col.Bytes()) {
+		t.Fatal("columnar identity conversion is not byte-identical")
+	}
+}
+
+// TestConvertTruncatedSource checks a corrupt source aborts the
+// conversion with an error instead of silently emitting a short trace.
+func TestConvertTruncatedSource(t *testing.T) {
+	legacy := encodeFormat(t, 4_096, FormatLegacy)
+	var out bytes.Buffer
+	if _, err := Convert(&out, bytes.NewReader(legacy[:len(legacy)/2]), FormatColumnar); err == nil {
+		t.Fatal("truncated source: want error, got nil")
+	}
+}

@@ -1,0 +1,506 @@
+package colv1
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"storemlp/internal/isa"
+)
+
+// genInsts builds a deterministic pseudo-random instruction stream
+// that exercises every column encoding: sequential and jumping PCs,
+// clustered and scattered addresses, long and singleton opcode runs.
+func genInsts(n int, seed int64) []isa.Inst {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]isa.Inst, n)
+	pc := uint64(0x10_0000)
+	for i := range out {
+		switch rng.Intn(10) {
+		case 0:
+			pc -= uint64(rng.Intn(4096)) * 4 // backward branch target
+		case 1:
+			pc += uint64(rng.Intn(1 << 20)) // far jump
+		default:
+			pc += 4
+		}
+		op := isa.OpALU
+		switch r := rng.Intn(100); {
+		case r < 20:
+			op = isa.OpLoad
+		case r < 35:
+			op = isa.OpStore
+		case r < 45:
+			op = isa.OpBranch
+		case r < 47:
+			op = isa.Op(rng.Intn(isa.NumOps))
+		}
+		out[i] = isa.Inst{
+			PC:    pc,
+			Addr:  uint64(rng.Intn(1<<30)) << uint(rng.Intn(3)),
+			Op:    op,
+			Size:  byte(1 << uint(rng.Intn(7))),
+			Flags: isa.Flags(rng.Intn(8)),
+			Dst:   isa.Reg(rng.Intn(isa.RegCount)),
+			Src1:  isa.Reg(rng.Intn(isa.RegCount)),
+			Src2:  isa.Reg(rng.Intn(isa.RegCount)),
+		}
+	}
+	return out
+}
+
+// encode writes insts through a Writer (in randomly sized batches, to
+// exercise the pending-block boundary logic) and returns the file
+// bytes.
+func encode(t testing.TB, insts []isa.Inst) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for pos := 0; pos < len(insts); {
+		n := 1 + rng.Intn(3000)
+		if pos+n > len(insts) {
+			n = len(insts) - pos
+		}
+		if rng.Intn(4) == 0 {
+			for _, in := range insts[pos : pos+n] {
+				if err := cw.Write(in); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else if err := cw.WriteBatch(insts[pos : pos+n]); err != nil {
+			t.Fatal(err)
+		}
+		pos += n
+	}
+	if got := cw.Count(); got != int64(len(insts)) {
+		t.Fatalf("writer Count = %d, want %d", got, len(insts))
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil { // Close is idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// drain reads everything from cr in the given batch size.
+func drain(t testing.TB, cr *Reader, batchLen int) []isa.Inst {
+	t.Helper()
+	var out []isa.Inst
+	buf := make([]isa.Inst, batchLen)
+	for {
+		k := cr.ReadBatch(buf)
+		if k == 0 {
+			break
+		}
+		out = append(out, buf[:k]...)
+	}
+	if cr.Err() != nil {
+		t.Fatalf("drain: %v", cr.Err())
+	}
+	return out
+}
+
+func TestRoundTripStreamAndBytes(t *testing.T) {
+	for _, n := range []int{0, 1, 7, DefaultBlockLen - 1, DefaultBlockLen, DefaultBlockLen + 1, 3*DefaultBlockLen + 100} {
+		insts := genInsts(n, int64(n)+1)
+		data := encode(t, insts)
+
+		for _, mode := range []string{"stream", "bytes"} {
+			var cr *Reader
+			var err error
+			if mode == "stream" {
+				cr, err = NewReader(bytes.NewReader(data))
+			} else {
+				cr, err = NewBytesReader(data)
+			}
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, mode, err)
+			}
+			got := drain(t, cr, DefaultBlockLen)
+			if len(got) != n {
+				t.Fatalf("n=%d %s: decoded %d", n, mode, len(got))
+			}
+			for i := range got {
+				if got[i] != insts[i] {
+					t.Fatalf("n=%d %s: inst %d: got %v want %v", n, mode, i, got[i], insts[i])
+				}
+			}
+			if cr.NumInsts() != int64(n) {
+				t.Fatalf("n=%d %s: NumInsts = %d", n, mode, cr.NumInsts())
+			}
+		}
+	}
+}
+
+func TestRoundTripOddBatchSizes(t *testing.T) {
+	insts := genInsts(2*DefaultBlockLen+17, 9)
+	data := encode(t, insts)
+	for _, batch := range []int{1, 3, 100, DefaultBlockLen - 1, DefaultBlockLen + 1, 5 * DefaultBlockLen} {
+		cr, err := NewBytesReader(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, cr, batch)
+		if len(got) != len(insts) {
+			t.Fatalf("batch=%d: decoded %d of %d", batch, len(got), len(insts))
+		}
+		for i := range got {
+			if got[i] != insts[i] {
+				t.Fatalf("batch=%d: inst %d mismatch", batch, i)
+			}
+		}
+	}
+}
+
+func TestNextMatchesReadBatch(t *testing.T) {
+	insts := genInsts(DefaultBlockLen+55, 3)
+	data := encode(t, insts)
+	cr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range insts {
+		got, ok := cr.Next()
+		if !ok {
+			t.Fatalf("inst %d: early end (err %v)", i, cr.Err())
+		}
+		if got != want {
+			t.Fatalf("inst %d: got %v want %v", i, got, want)
+		}
+	}
+	if _, ok := cr.Next(); ok {
+		t.Fatal("Next after end returned an instruction")
+	}
+	if cr.Err() != nil {
+		t.Fatal(cr.Err())
+	}
+}
+
+func TestSizeHint(t *testing.T) {
+	insts := genInsts(DefaultBlockLen+100, 5)
+	data := encode(t, insts)
+
+	cr, err := NewBytesReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.SizeHint(); got != int64(len(insts)) {
+		t.Fatalf("bytes SizeHint = %d, want %d", got, len(insts))
+	}
+	buf := make([]isa.Inst, 100)
+	cr.ReadBatch(buf)
+	if got := cr.SizeHint(); got != int64(len(insts)-100) {
+		t.Fatalf("bytes SizeHint after 100 = %d", got)
+	}
+
+	sr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sr.SizeHint(); got >= 0 {
+		t.Fatalf("stream SizeHint before footer = %d, want negative", got)
+	}
+}
+
+func TestSeekInst(t *testing.T) {
+	insts := genInsts(3*DefaultBlockLen+200, 11)
+	data := encode(t, insts)
+	cr, err := NewBytesReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []int64{0, 1, 255, 256, 257, DefaultBlockLen - 1, DefaultBlockLen,
+		2*DefaultBlockLen + 1234, int64(len(insts)) - 1, int64(len(insts))}
+	buf := make([]isa.Inst, 64)
+	for _, tgt := range targets {
+		if err := cr.SeekInst(tgt); err != nil {
+			t.Fatalf("SeekInst(%d): %v", tgt, err)
+		}
+		if got := cr.SizeHint(); got != int64(len(insts))-tgt {
+			t.Fatalf("SeekInst(%d): SizeHint = %d", tgt, got)
+		}
+		k := cr.ReadBatch(buf)
+		if tgt == int64(len(insts)) {
+			if k != 0 {
+				t.Fatalf("read after seek-to-end returned %d insts", k)
+			}
+			continue
+		}
+		if k == 0 {
+			t.Fatalf("SeekInst(%d): no insts (err %v)", tgt, cr.Err())
+		}
+		for i := 0; i < k; i++ {
+			if buf[i] != insts[tgt+int64(i)] {
+				t.Fatalf("SeekInst(%d): inst %d mismatch", tgt, i)
+			}
+		}
+	}
+	if err := cr.SeekInst(-1); err == nil {
+		t.Fatal("SeekInst(-1) succeeded")
+	}
+	if err := cr.SeekInst(int64(len(insts)) + 1); err == nil {
+		t.Fatal("SeekInst past end succeeded")
+	}
+
+	sr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.SeekInst(0); err == nil {
+		t.Fatal("SeekInst on a streaming reader succeeded")
+	}
+}
+
+// TestTruncationWalk feeds every strict prefix of a valid trace to
+// both backends: none may panic, and every one must report an error or
+// (streaming) end without having invented instructions.
+func TestTruncationWalk(t *testing.T) {
+	insts := genInsts(DefaultBlockLen+300, 21)
+	data := encode(t, insts)
+	step := 1
+	if testing.Short() {
+		step = 97
+	}
+	buf := make([]isa.Inst, 512)
+	for cut := 0; cut < len(data); cut += step {
+		prefix := data[:cut]
+
+		if cr, err := NewBytesReader(prefix); err == nil {
+			for cr.ReadBatch(buf) != 0 {
+			}
+			if cr.Err() == nil && cr.instPos != 0 {
+				t.Fatalf("cut=%d: bytes reader accepted a truncated trace (%d insts)", cut, cr.instPos)
+			}
+		}
+
+		cr, err := NewReader(bytes.NewReader(prefix))
+		if err != nil {
+			continue
+		}
+		n := 0
+		for {
+			k := cr.ReadBatch(buf)
+			if k == 0 {
+				break
+			}
+			n += k
+			for i := 0; i < k; i++ {
+				if !buf[i].Op.Valid() {
+					t.Fatalf("cut=%d: invalid opcode surfaced", cut)
+				}
+			}
+		}
+		if cr.Err() == nil {
+			t.Fatalf("cut=%d: streaming reader reported a clean end on a truncated trace", cut)
+		}
+		if !errors.Is(cr.Err(), ErrTruncated) && !errors.Is(cr.Err(), ErrCorrupt) {
+			t.Fatalf("cut=%d: error %v is neither ErrTruncated nor ErrCorrupt", cut, cr.Err())
+		}
+		_ = n
+	}
+}
+
+func TestZeroLengthAndGarbageInputs(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("SMLC"),
+		[]byte("SMLT this is the legacy format"),
+		[]byte("garbage that is long enough to not be a header at all........."),
+		bytes.Repeat([]byte{0}, 64),
+	}
+	for i, data := range cases {
+		if _, err := NewBytesReader(data); err == nil {
+			t.Errorf("case %d: NewBytesReader accepted garbage", i)
+		}
+		if cr, err := NewReader(bytes.NewReader(data)); err == nil {
+			if n := drainUnchecked(cr, 64); n != 0 || cr.Err() == nil {
+				t.Errorf("case %d: streaming reader yielded %d insts, err=%v", i, n, cr.Err())
+			}
+		}
+	}
+}
+
+func drainUnchecked(cr *Reader, batch int) int {
+	buf := make([]isa.Inst, batch)
+	n := 0
+	for {
+		k := cr.ReadBatch(buf)
+		if k == 0 {
+			return n
+		}
+		n += k
+	}
+}
+
+// corrupt returns a copy of data with one little-endian u32 overwritten
+// at off.
+func corruptU32(data []byte, off int, v uint32) []byte {
+	out := bytes.Clone(data)
+	out[off] = byte(v)
+	out[off+1] = byte(v >> 8)
+	out[off+2] = byte(v >> 16)
+	out[off+3] = byte(v >> 24)
+	return out
+}
+
+func TestTargetedCorruption(t *testing.T) {
+	insts := genInsts(2*DefaultBlockLen+10, 31)
+	data := encode(t, insts)
+
+	check := func(name string, mutated []byte) {
+		t.Helper()
+		if cr, err := NewBytesReader(mutated); err == nil {
+			if drainUnchecked(cr, DefaultBlockLen); cr.Err() == nil {
+				t.Errorf("%s: bytes reader accepted the corruption", name)
+			}
+		}
+		if cr, err := NewReader(bytes.NewReader(mutated)); err == nil {
+			if drainUnchecked(cr, DefaultBlockLen); cr.Err() == nil {
+				t.Errorf("%s: streaming reader accepted the corruption", name)
+			}
+		}
+	}
+
+	// Block 0 starts right after the header.
+	check("nInsts zero", corruptU32(data, headerSize+4, 0))
+	check("nInsts over blockLen", corruptU32(data, headerSize+4, DefaultBlockLen+1))
+	check("payloadLen tiny", corruptU32(data, headerSize, 1))
+	check("payloadLen huge", corruptU32(data, headerSize, 1<<30))
+	check("column length overrun", corruptU32(data, headerSize+8, 1<<29))
+	// Shifting a column length by one makes the cursors misalign; the
+	// lockstep decode or the drained() check must catch it.
+	check("column length off by one", corruptU32(data, headerSize+8,
+		binary32(data[headerSize+8:])+1))
+	// Invalid opcode inside the op column: op column starts after the
+	// pc and addr columns.
+	{
+		pcLen := int(binary32(data[headerSize+8:]))
+		adLen := int(binary32(data[headerSize+12:]))
+		opOff := headerSize + 4 + payloadFixed + pcLen + adLen
+		mutated := bytes.Clone(data)
+		mutated[opOff] = 0xEE // way out of the opcode range
+		check("invalid opcode", mutated)
+	}
+	// Footer corruption: locate the footer through the trailer.
+	trailerOff := len(data) - trailerSize
+	footOff := int(binary64(data[trailerOff:]))
+	check("footer total wrong", corruptU32(data, footOff+4, uint32(len(insts)+1)))
+	check("footer nBlocks wrong", corruptU32(data, footOff+12, 7))
+	check("footer marker nonzero", corruptU32(data, footOff, 1))
+	// Trailer pointing into a block.
+	{
+		mutated := bytes.Clone(data)
+		mutated[trailerOff] = byte(headerSize + 2)
+		for i := 1; i < 8; i++ {
+			mutated[trailerOff+i] = 0
+		}
+		if _, err := NewBytesReader(mutated); err == nil {
+			t.Error("trailer pointing mid-block: accepted")
+		}
+	}
+	// Seek index entry tampered: second block's startInst.
+	if footOff+16+16+8 < trailerOff {
+		check("seek index startInst wrong", corruptU32(data, footOff+16+16+8, 9))
+	}
+}
+
+func binary32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func binary64(b []byte) uint64 {
+	return uint64(binary32(b)) | uint64(binary32(b[4:]))<<32
+}
+
+func TestOpenMmap(t *testing.T) {
+	insts := genInsts(DefaultBlockLen+500, 77)
+	data := encode(t, insts)
+	path := filepath.Join(t.TempDir(), "t.colv1")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cf.Reader, DefaultBlockLen)
+	if len(got) != len(insts) {
+		t.Fatalf("decoded %d of %d", len(got), len(insts))
+	}
+	for i := range got {
+		if got[i] != insts[i] {
+			t.Fatalf("inst %d mismatch", i)
+		}
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("Open of a missing file succeeded")
+	}
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(empty); err == nil {
+		t.Fatal("Open of an empty file succeeded")
+	}
+}
+
+// TestReadBatchZeroAlloc proves the random-access decode path performs
+// zero allocations per batch in steady state: the block payloads are
+// sliced from the mapped bytes and decoded straight into the caller's
+// buffer.
+func TestReadBatchZeroAlloc(t *testing.T) {
+	insts := genInsts(4*DefaultBlockLen, 55)
+	data := encode(t, insts)
+	cr, err := NewBytesReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]isa.Inst, DefaultBlockLen)
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := cr.SeekInst(0); err != nil {
+			t.Fatal(err)
+		}
+		for cr.ReadBatch(buf) != 0 {
+		}
+		if cr.Err() != nil {
+			t.Fatal(cr.Err())
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decode of a %d-inst trace allocated %.0f times per run, want 0", len(insts), allocs)
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Write(isa.Inst{}); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+	if err := cw.WriteBatch([]isa.Inst{{}}); err == nil {
+		t.Fatal("WriteBatch after Close succeeded")
+	}
+}

@@ -1,0 +1,18 @@
+//go:build linux
+
+package colv1
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the file read-only. The returned unmap function
+// releases the mapping.
+func mapFile(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

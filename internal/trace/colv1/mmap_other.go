@@ -1,0 +1,19 @@
+//go:build !linux
+
+package colv1
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the whole file into memory on platforms without an
+// mmap fast path; the nil unmap lets File skip the release step. The
+// format stays fully functional, just without the lazy paging.
+func mapFile(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

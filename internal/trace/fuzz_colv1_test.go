@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"storemlp/internal/trace/colv1"
+	"storemlp/internal/workload"
+)
+
+// FuzzColumnarRoundTrip is the columnar twin of FuzzTraceRoundTrip:
+// fuzz bytes become an instruction sequence that must survive
+// encode->decode exactly, and double as a hostile byte stream the
+// reader must reject with an error — never a panic — whether it is
+// fed sequentially or through the random-access backend.
+func FuzzColumnarRoundTrip(f *testing.F) {
+	// Corpus seeds mirror the legacy fuzzer: a real workload trace in
+	// columnar form, an empty trace, adversarial header prefixes, and
+	// raw varint noise.
+	gen := workload.NewGenerator(workload.Database(1))
+	var real bytes.Buffer
+	if _, err := WriteAllFormat(&real, Limit(gen, 8192), FormatColumnar); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(real.Bytes())
+	var empty bytes.Buffer
+	if _, err := WriteAllFormat(&empty, Limit(gen, 0), FormatColumnar); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte(colv1.Magic))
+	f.Add([]byte("SMLC\x01\x00\x00\x10"))
+	f.Add([]byte("SMLC\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte("not a trace"))
+	f.Add(bytes.Repeat([]byte{0x80}, 64)) // unterminated varints
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: fuzz bytes as instructions; the columnar round
+		// trip must be lossless, including partial final blocks.
+		insts := instsFromFuzz(data)
+		var buf bytes.Buffer
+		cw, err := colv1.NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.WriteBatch(insts); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if cw.Count() != int64(len(insts)) {
+			t.Fatalf("writer count %d, want %d", cw.Count(), len(insts))
+		}
+		cr, err := colv1.NewBytesReader(buf.Bytes())
+		if err != nil {
+			t.Fatalf("reading back own output: %v", err)
+		}
+		for i, want := range insts {
+			got, ok := cr.Next()
+			if !ok {
+				t.Fatalf("record %d: stream ended early (err %v)", i, cr.Err())
+			}
+			if got != want {
+				t.Fatalf("record %d: round trip %+v -> %+v", i, want, got)
+			}
+		}
+		if _, ok := cr.Next(); ok {
+			t.Fatal("reader yielded more records than written")
+		}
+		if err := cr.Err(); err != nil {
+			t.Fatalf("clean trace ended with error: %v", err)
+		}
+
+		// Direction 2: fuzz bytes as a hostile stream against both
+		// backends. Any failure must surface as ErrBadMagic /
+		// ErrBadVersion / ErrTruncated / ErrCorrupt, never a panic.
+		checkErr := func(err error) {
+			if err == nil {
+				return
+			}
+			if !errors.Is(err, colv1.ErrBadMagic) && !errors.Is(err, colv1.ErrBadVersion) &&
+				!errors.Is(err, colv1.ErrTruncated) && !errors.Is(err, colv1.ErrCorrupt) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+		}
+		for _, open := range []func() (*colv1.Reader, error){
+			func() (*colv1.Reader, error) { return colv1.NewReader(bytes.NewReader(data)) },
+			func() (*colv1.Reader, error) { return colv1.NewBytesReader(data) },
+		} {
+			hr, err := open()
+			if err != nil {
+				checkErr(err)
+				continue
+			}
+			for n := 0; n < 1<<20; n++ {
+				in, ok := hr.Next()
+				if !ok {
+					break
+				}
+				if !in.Op.Valid() {
+					t.Fatalf("reader emitted invalid opcode %d", in.Op)
+				}
+			}
+			checkErr(hr.Err())
+		}
+	})
+}

@@ -71,7 +71,30 @@ echo '>> go test -race ./...'
 go test -race "$@" ./...
 
 echo '>> benchmark smoke (1 iteration)'
-go test -run '^$' -bench '^(BenchmarkEngine|BenchmarkEngineTraced|BenchmarkTraceCodec)$' -benchtime 1x -benchmem .
+go test -run '^$' \
+    -bench '^(BenchmarkEngine|BenchmarkEngineTraced|BenchmarkEngineTraceDriven|BenchmarkTraceDecodeLegacy|BenchmarkTraceDecodeColumnar)$' \
+    -benchtime 1x -benchmem .
+
+echo '>> trace format smoke (legacy vs columnar)'
+# The two on-disk codecs must be interchangeable: converting a legacy
+# trace must reproduce the direct columnar encoding byte for byte, and
+# mlpsim must report identical statistics from either file.
+go build -o "$tmpdir/tracegen" ./cmd/tracegen
+go build -o "$tmpdir/mlpsim" ./cmd/mlpsim
+"$tmpdir/tracegen" -workload tpcw -n 30000 -format legacy -o "$tmpdir/smoke-legacy.trace"
+"$tmpdir/tracegen" -workload tpcw -n 30000 -format columnar -o "$tmpdir/smoke-columnar.trace"
+"$tmpdir/tracegen" -convert "$tmpdir/smoke-legacy.trace" -format columnar -o "$tmpdir/smoke-converted.trace"
+cmp "$tmpdir/smoke-columnar.trace" "$tmpdir/smoke-converted.trace" || {
+    echo 'legacy->columnar conversion differs from direct columnar generation'
+    exit 1
+}
+"$tmpdir/mlpsim" -trace "$tmpdir/smoke-legacy.trace" -warm 10000 -v >"$tmpdir/legacy.stats"
+"$tmpdir/mlpsim" -trace "$tmpdir/smoke-columnar.trace" -warm 10000 -v >"$tmpdir/columnar.stats"
+diff "$tmpdir/legacy.stats" "$tmpdir/columnar.stats" || {
+    echo 'mlpsim statistics diverge between trace formats'
+    exit 1
+}
+echo 'trace formats: OK (byte-identical conversion, identical statistics)'
 
 echo '>> mlpsimd smoke test (with observability checks)'
 go build -o "$tmpdir/mlpsimd" ./cmd/mlpsimd

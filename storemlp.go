@@ -162,10 +162,33 @@ func ConfigDigest(s RunSpec) string {
 	})
 }
 
+// TraceFormat selects an on-disk trace encoding for WriteTraceFormat
+// and ConvertTrace.
+type TraceFormat = trace.Format
+
+// Trace formats: the legacy record-at-a-time varint codec and the
+// columnar block codec (delta/varint columns, run-length kinds, seek
+// index, O(blocks) decode allocations). Readers autodetect either by
+// magic bytes; the columnar format is what tracegen emits by default.
+const (
+	TraceLegacy   = trace.FormatLegacy
+	TraceColumnar = trace.FormatColumnar
+)
+
+// ParseTraceFormat resolves "legacy" or "columnar".
+func ParseTraceFormat(s string) (TraceFormat, error) { return trace.ParseFormat(s) }
+
 // WriteTrace generates n instructions of the workload — transformed for
 // the configuration's consistency model and SLE setting — into w using
-// the binary trace format. It returns the number of records written.
+// the legacy binary trace format. It returns the number of records
+// written. New traces should prefer WriteTraceFormat with
+// TraceColumnar.
 func WriteTrace(w io.Writer, wk Workload, cfg Config, n int64) (int64, error) {
+	return WriteTraceFormat(w, wk, cfg, n, TraceLegacy)
+}
+
+// WriteTraceFormat is WriteTrace with an explicit on-disk format.
+func WriteTraceFormat(w io.Writer, wk Workload, cfg Config, n int64, f TraceFormat) (int64, error) {
 	if err := wk.Validate(); err != nil {
 		return 0, err
 	}
@@ -175,12 +198,20 @@ func WriteTrace(w io.Writer, wk Workload, cfg Config, n int64) (int64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("storemlp: non-positive trace length %d", n)
 	}
-	return trace.WriteAll(w, sim.BuildSource(wk, cfg, n))
+	return trace.WriteAllFormat(w, sim.BuildSource(wk, cfg, n), f)
 }
 
-// RunTrace drives a previously written binary trace through the epoch
-// engine. The trace is used as-is: no consistency rewriting is applied
-// (use cmd/lockdetect or WriteTrace for that).
+// ConvertTrace re-encodes the trace on r (either format, autodetected
+// by magic bytes) into w in the target format, preserving the
+// instruction stream exactly, and returns the instruction count.
+func ConvertTrace(w io.Writer, r io.Reader, f TraceFormat) (int64, error) {
+	return trace.Convert(w, r, f)
+}
+
+// RunTrace drives a previously written binary trace — either format,
+// autodetected by magic bytes — through the epoch engine. The trace is
+// used as-is: no consistency rewriting is applied (use cmd/lockdetect
+// or WriteTraceFormat for that).
 func RunTrace(r io.Reader, cfg Config, warm int64) (*Stats, error) {
 	return RunTraceContext(context.Background(), r, cfg, warm)
 }
@@ -190,10 +221,35 @@ func RunTrace(r io.Reader, cfg Config, warm int64) (*Stats, error) {
 // *obs.Obs (obs.NewContext); the planned total is unknown for a
 // streamed trace, so progress reports instructions only.
 func RunTraceContext(ctx context.Context, r io.Reader, cfg Config, warm int64) (*Stats, error) {
-	tr, err := trace.NewReader(r)
+	tr, err := trace.NewAutoReader(r)
 	if err != nil {
 		return nil, err
 	}
+	return runTraceSource(ctx, tr, cfg, warm)
+}
+
+// RunTraceFile runs the trace stored at path. Columnar traces go
+// through the memory-mapped random-access backend, so the file is
+// paged in block by block as the engine consumes it; legacy traces
+// stream through the descriptor.
+func RunTraceFile(path string, cfg Config, warm int64) (*Stats, error) {
+	return RunTraceFileContext(context.Background(), path, cfg, warm)
+}
+
+// RunTraceFileContext is RunTraceFile with cancellation.
+func RunTraceFileContext(ctx context.Context, path string, cfg Config, warm int64) (*Stats, error) {
+	tr, closer, err := trace.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	return runTraceSource(ctx, tr, cfg, warm)
+}
+
+// runTraceSource is the shared tail of the trace-driven entry points:
+// build an engine, attach observability, drive the decoded stream
+// through it, and surface any decode error the source hit.
+func runTraceSource(ctx context.Context, tr trace.FileSource, cfg Config, warm int64) (*Stats, error) {
 	cfg.WarmInsts = warm
 	eng, err := epoch.New(cfg)
 	if err != nil {

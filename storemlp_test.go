@@ -63,6 +63,66 @@ func TestTraceRoundTripFacade(t *testing.T) {
 	}
 }
 
+// TestTraceFormatsEquivalent is the codec-neutrality gate: the same
+// generated stream encoded legacy and columnar must drive the epoch
+// engine to bit-identical statistics. Any divergence means one codec
+// altered the instruction stream.
+func TestTraceFormatsEquivalent(t *testing.T) {
+	cfg := DefaultConfig()
+	var legacy, columnar bytes.Buffer
+	if _, err := WriteTraceFormat(&legacy, Database(5), cfg, 120_000, TraceLegacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteTraceFormat(&columnar, Database(5), cfg, 120_000, TraceColumnar); err != nil {
+		t.Fatal(err)
+	}
+	sLegacy, err := RunTrace(&legacy, cfg, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sColumnar, err := RunTrace(&columnar, cfg, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sLegacy, sColumnar) {
+		t.Errorf("stats diverge between codecs:\nlegacy:   %+v\ncolumnar: %+v", sLegacy, sColumnar)
+	}
+	if sLegacy.Insts != 100_000 {
+		t.Errorf("measured %d insts, want 100000", sLegacy.Insts)
+	}
+}
+
+// TestConvertTraceFacade checks the facade-level converter preserves
+// counts and produces the requested encoding.
+func TestConvertTraceFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	var legacy bytes.Buffer
+	if _, err := WriteTraceFormat(&legacy, TPCW(3), cfg, 60_000, TraceLegacy); err != nil {
+		t.Fatal(err)
+	}
+	var col bytes.Buffer
+	n, err := ConvertTrace(&col, bytes.NewReader(legacy.Bytes()), TraceColumnar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 60_000 {
+		t.Errorf("converted %d insts, want 60000", n)
+	}
+	if got := string(col.Bytes()[:4]); got != "SMLC" {
+		t.Errorf("converted magic = %q, want SMLC", got)
+	}
+	s, err := RunTrace(&col, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Insts != 60_000 {
+		t.Errorf("converted trace drove %d insts, want 60000", s.Insts)
+	}
+	if _, err := ParseTraceFormat("nope"); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
 func TestWriteTraceErrors(t *testing.T) {
 	var buf bytes.Buffer
 	bad := Database(1)
