@@ -39,6 +39,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -62,20 +63,27 @@ var onReady = func(addr string) {}
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mlpsimd", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":7743", "listen address (host:port, :0 picks a free port)")
-		workers = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		cache   = fs.Int("cache", 4096, "result-cache entries (negative disables caching)")
-		maxI    = fs.Int64("max-insts", 100_000_000, "per-request insts+warm ceiling")
-		reqTO   = fs.Duration("timeout", 120*time.Second, "default per-request timeout")
-		drain   = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
-		logFmt  = fs.String("log", "text", "log format: text or json")
-		verbose = fs.Bool("v", false, "debug logging (includes healthz/metrics probes)")
-		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling; leave off in production)")
-		trcCap  = fs.Int("trace-events", 0, "run-tracer ring capacity (0 = default 16384, negative disables tracing)")
-		trcOut  = fs.String("trace-out", "", "write the tracer's Chrome trace_event JSON to this file on graceful shutdown")
+		addr     = fs.String("addr", ":7743", "listen address (host:port, :0 picks a free port)")
+		workers  = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cache    = fs.Int("cache", 4096, "result-cache entries (negative disables caching)")
+		maxI     = fs.Int64("max-insts", 100_000_000, "per-request insts+warm ceiling")
+		reqTO    = fs.Duration("timeout", 120*time.Second, "default per-request timeout")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		logFmt   = fs.String("log", "text", "log format: text or json")
+		verbose  = fs.Bool("v", false, "debug logging (includes healthz/metrics probes)")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling; leave off in production)")
+		trcCap   = fs.Int("trace-events", 0, "run-tracer ring capacity (0 = default 16384, negative disables tracing)")
+		trcOut   = fs.String("trace-out", "", "write the tracer's Chrome trace_event JSON to this file on graceful shutdown")
+		parallel = fs.Int("parallel", 1, "segments per simulation when a request carries no parallel field (0 = one per CPU core, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("negative -parallel %d", *parallel)
+	}
+	if *parallel == 0 {
+		*parallel = runtime.NumCPU()
 	}
 
 	level := slog.LevelInfo
@@ -94,12 +102,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	log := slog.New(handler)
 
 	svc := server.New(server.Config{
-		Workers:        *workers,
-		CacheEntries:   *cache,
-		MaxInsts:       *maxI,
-		DefaultTimeout: *reqTO,
-		Logger:         log,
-		TraceEvents:    *trcCap,
+		Workers:         *workers,
+		CacheEntries:    *cache,
+		MaxInsts:        *maxI,
+		DefaultTimeout:  *reqTO,
+		Logger:          log,
+		TraceEvents:     *trcCap,
+		DefaultParallel: *parallel,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

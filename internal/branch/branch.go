@@ -182,10 +182,13 @@ func b2u(b bool) uint64 {
 }
 
 // Reset returns the predictor to its as-constructed state — empty
-// tables, cleared history and statistics — without reallocating.
+// tables, cleared history and statistics — without reallocating. The
+// direction counters go back to weakly taken, exactly as New leaves
+// them: a recycled engine must be observationally identical to a fresh
+// one.
 func (p *Predictor) Reset() {
 	for i := range p.counters {
-		p.counters[i] = 0
+		p.counters[i] = 2
 	}
 	for i := range p.btbTags {
 		p.btbTags[i] = 0

@@ -71,7 +71,9 @@ func (e *Engine) commitStore(in isa.Inst, idx, x int64, measuring, shared bool) 
 		if e.sm.ProbeStore(in.Addr) == smac.Hit {
 			// SMAC acceleration: ownership already held; the L2 buffers
 			// the store data and merges the line in the background.
-			e.stats.SMACAccelerated++
+			if measuring {
+				e.stats.SMACAccelerated++
+			}
 		} else {
 			pf := commitIssue // Sp0: request issues at the SQ head, in order
 			prefetched := false

@@ -29,6 +29,15 @@ const (
 	// EvMeasureStart marks the warmup→measurement transition (arg is
 	// the instruction index).
 	EvMeasureStart
+	// EvSegment spans one segment of a parallel intra-run simulation:
+	// source construction, fast-forward and the segment engine's run
+	// (arg is the measured instruction count). The engine's own
+	// EvSimulate span nests inside it under the same run ID, so the
+	// Chrome trace shows the fan-out.
+	EvSegment
+	// EvMerge spans the associative Stats merge that joins segment
+	// results back into one run (arg is the segment count).
+	EvMerge
 	evKindCount
 )
 
@@ -37,7 +46,7 @@ func (k EventKind) String() string {
 	if k >= evKindCount {
 		return "unknown"
 	}
-	return [...]string{"parse", "simulate", "batch", "fold", "render", "window_grow", "measure_start"}[k]
+	return [...]string{"parse", "simulate", "batch", "fold", "render", "window_grow", "measure_start", "segment", "merge"}[k]
 }
 
 // Event is one recorded span (Dur > 0) or point (Dur == 0). The struct

@@ -73,6 +73,11 @@ type Config struct {
 	// <0 disables tracing — /debug/obs/trace then serves an empty
 	// trace and the engine hot path pays only a nil check).
 	TraceEvents int
+	// DefaultParallel is the segment count applied to requests that do
+	// not carry their own "parallel" field (<=1 = serial). Because the
+	// knob is digest-visible, a daemon restarted with a different
+	// default serves from a disjoint cache-key space.
+	DefaultParallel int
 }
 
 // Server is the mlpsimd service core. Create with New, mount Handler
@@ -110,6 +115,7 @@ type Server struct {
 	mHitRatio     *obs.FloatGauge
 	mCoalesced    *Counter
 	mInflight     *Gauge
+	mSegInflight  *Gauge
 	mQueueDepth   *Gauge
 	mSaturation   *obs.FloatGauge
 	mPoolIdle     *Gauge
@@ -164,6 +170,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 120 * time.Second
+	}
+	if cfg.DefaultParallel < 1 {
+		cfg.DefaultParallel = 1
 	}
 	var pool *sim.Pool
 	if cfg.Runner == nil {
@@ -226,9 +235,12 @@ func (s *Server) registerMetrics() {
 	s.mCoalesced = m.Counter("mlpsimd_coalesced_requests_total",
 		"Requests that joined an identical in-flight simulation instead of executing.")
 	s.mInflight = m.Gauge("mlpsimd_sims_inflight", "Simulations currently executing.")
+	s.mSegInflight = m.Gauge("mlpsimd_segments_inflight",
+		"Engine segments currently executing; a parallel run contributes one per segment.")
 	s.mQueueDepth = m.Gauge("mlpsimd_queue_depth", "Simulations waiting for a worker slot.")
 	s.mSaturation = m.FloatGauge("mlpsimd_pool_saturation",
-		"Fraction of worker slots occupied: sims in flight / workers.")
+		"Fraction of worker capacity occupied: engine segments in flight / workers. "+
+			"Parallel runs fan out past their one slot, so this can exceed 1.")
 	s.mPoolIdle = m.Gauge("mlpsimd_pool_engines_idle",
 		"Recycled engines parked in the pool (0 under a custom runner).")
 	s.mExecuted = m.Counter("mlpsimd_sims_executed_total", "Engine executions started.")
@@ -249,10 +261,11 @@ func (s *Server) registerMetrics() {
 		"cache_entries", strconv.Itoa(s.cfg.CacheEntries),
 		"max_insts", strconv.FormatInt(s.cfg.MaxInsts, 10),
 		"trace_events", strconv.Itoa(s.cfg.TraceEvents),
+		"default_parallel", strconv.Itoa(s.cfg.DefaultParallel),
 		"digest", digest.Sum(struct {
-			Workers, CacheEntries, TraceEvents int
-			MaxInsts, DefaultTimeoutMS         int64
-		}{s.cfg.Workers, s.cfg.CacheEntries, s.cfg.TraceEvents,
+			Workers, CacheEntries, TraceEvents, DefaultParallel int
+			MaxInsts, DefaultTimeoutMS                          int64
+		}{s.cfg.Workers, s.cfg.CacheEntries, s.cfg.TraceEvents, s.cfg.DefaultParallel,
 			s.cfg.MaxInsts, s.cfg.DefaultTimeout.Milliseconds()}))
 	m.OnScrape(func() {
 		s.mUptime.Set(int64(time.Since(s.start).Seconds()))
@@ -266,7 +279,7 @@ func (s *Server) registerMetrics() {
 		if hits, misses := s.mCacheHits.Value(), s.mCacheMisses.Value(); hits+misses > 0 {
 			s.mHitRatio.Set(float64(hits) / float64(hits+misses))
 		}
-		s.mSaturation.Set(float64(s.mInflight.Value()) / float64(s.cfg.Workers))
+		s.mSaturation.Set(float64(s.mSegInflight.Value()) / float64(s.cfg.Workers))
 		if s.pool != nil {
 			s.mPoolIdle.Set(int64(s.pool.Idle()))
 		}
@@ -418,6 +431,11 @@ type RunRequest struct {
 	Config         *ConfigPatch `json:"config,omitempty"`
 	DisableTraffic bool         `json:"disable_traffic,omitempty"`
 	SharedCore     bool         `json:"shared_core,omitempty"`
+	// Parallel splits the run into that many concurrently simulated
+	// segments (0 = server default, 1 = serial). Digest-visible:
+	// parallel results approximate serial ones, so they never share a
+	// cache key.
+	Parallel int `json:"parallel,omitempty"`
 	// NoCache bypasses the result cache AND coalescing: the request
 	// always executes a fresh simulation (benchmark cold path).
 	NoCache bool `json:"nocache,omitempty"`
@@ -439,6 +457,10 @@ type RunResult struct {
 	LoadMisses              int64   `json:"load_misses"`
 	InstMisses              int64   `json:"inst_misses"`
 	SMACAccelerated         int64   `json:"smac_accelerated,omitempty"`
+	// Segments is the number of concurrently simulated segments the run
+	// actually fanned out to (after clamping tiny runs); absent/0 means
+	// serial.
+	Segments int `json:"segments,omitempty"`
 }
 
 // RunResponse wraps a result with its serving provenance.
@@ -505,6 +527,10 @@ func (s *Server) resolve(req RunRequest) (sim.Spec, string, error) {
 	if insts+warm > s.cfg.MaxInsts {
 		return sim.Spec{}, "", badRequest("insts+warm %d exceeds server limit %d", insts+warm, s.cfg.MaxInsts)
 	}
+	par := req.Parallel
+	if par == 0 {
+		par = s.cfg.DefaultParallel
+	}
 	spec := sim.Spec{
 		Workload:       w,
 		Uarch:          cfg,
@@ -512,6 +538,7 @@ func (s *Server) resolve(req RunRequest) (sim.Spec, string, error) {
 		Warm:           warm,
 		DisableTraffic: req.DisableTraffic,
 		SharedCore:     req.SharedCore,
+		Parallel:       par,
 	}
 	if err := spec.Validate(); err != nil {
 		return sim.Spec{}, "", badRequest("%v", err)
@@ -533,9 +560,17 @@ func (s *Server) execute(ctx context.Context, spec sim.Spec) (*RunResult, error)
 	}
 	defer func() { <-s.slots }()
 
+	// A parallel run occupies one worker slot but checks several segment
+	// engines out of the pool; the saturation metric counts segments so
+	// fan-out past the slot width is visible.
+	segs := sim.Segments(spec)
 	s.mInflight.Add(1)
+	s.mSegInflight.Add(int64(segs))
 	s.mExecuted.Inc()
-	defer s.mInflight.Add(-1)
+	defer func() {
+		s.mInflight.Add(-1)
+		s.mSegInflight.Add(int64(-segs))
+	}()
 	// Thread the tracer and the live-run board into the engine: the
 	// default pool runner picks them up via obs.FromContext.
 	stats, err := s.runner(obs.NewContext(ctx, s.sinks), spec)
@@ -558,6 +593,7 @@ func (s *Server) execute(ctx context.Context, spec sim.Spec) (*RunResult, error)
 		LoadMisses:              stats.LoadMisses,
 		InstMisses:              stats.InstMisses,
 		SMACAccelerated:         stats.SMACAccelerated,
+		Segments:                segs,
 	}, nil
 }
 

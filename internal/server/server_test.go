@@ -736,3 +736,63 @@ func ExampleServer() {
 	fmt.Println(resp.StatusCode, rr.Result.Epochs, rr.Cached)
 	// Output: 200 42 false
 }
+
+// TestParallelRequestSegments covers the parallel serving knob: the
+// request field fans the run out and is digest-visible, the daemon
+// default applies when the request is silent, and the response reports
+// the actual segment count.
+func TestParallelRequestSegments(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestServer(t, Config{Runner: countingRunner(&execs, 0)})
+
+	_, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "database", Insts: 100_000, Parallel: 4})
+	par := decodeRun(t, body)
+	if par.Result.Segments != 4 {
+		t.Errorf("segments = %d, want 4", par.Result.Segments)
+	}
+	_, body = postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "database", Insts: 100_000})
+	serial := decodeRun(t, body)
+	if serial.Result.Segments != 1 {
+		t.Errorf("serial segments = %d, want 1", serial.Result.Segments)
+	}
+	// Parallel results approximate serial ones: the two requests must
+	// not share a cache key.
+	if par.Digest == serial.Digest {
+		t.Errorf("parallel and serial runs share digest %s", par.Digest)
+	}
+	if serial.Cached || par.Cached {
+		t.Error("distinct digests should both have executed")
+	}
+
+	// A tiny run clamps below the requested fan-out instead of running
+	// sub-minimum segments.
+	_, body = postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "database", Insts: 5000, Parallel: 64})
+	if got := decodeRun(t, body).Result.Segments; got >= 64 {
+		t.Errorf("tiny run segments = %d, want clamped below 64", got)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "database", Insts: 100_000, Parallel: -2})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative parallel: status %d (%s), want 400", resp.StatusCode, body)
+	}
+}
+
+// TestDefaultParallelApplied: a daemon started with DefaultParallel
+// splits silent requests, and the config default is digest-visible so
+// the cache space is disjoint from a serial daemon's.
+func TestDefaultParallelApplied(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Runner:          countingRunner(new(atomic.Int64), 0),
+		DefaultParallel: 2,
+	})
+	_, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "tpcw", Insts: 100_000})
+	rr := decodeRun(t, body)
+	if rr.Result.Segments != 2 {
+		t.Errorf("segments = %d, want daemon default 2", rr.Result.Segments)
+	}
+	// An explicit parallel:1 overrides the daemon default back to serial.
+	_, body = postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "tpcw", Insts: 100_000, Parallel: 1})
+	if got := decodeRun(t, body).Result.Segments; got != 1 {
+		t.Errorf("explicit serial segments = %d, want 1", got)
+	}
+}

@@ -12,6 +12,8 @@ import (
 
 	"storemlp/internal/epoch"
 	"storemlp/internal/obs"
+	"storemlp/internal/trace"
+	"storemlp/internal/uarch"
 )
 
 // Pool recycles epoch engines across simulation runs. The zero value
@@ -63,6 +65,9 @@ func (p *Pool) RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	if Segments(s) > 1 {
+		return p.runParallel(ctx, s, WarmupOverlap(s.Uarch), parseStart)
+	}
 	cfg, opts := prepare(s)
 	e := p.get()
 	// A failed Reconfigure (or a cancelled run) leaves mid-run state
@@ -81,6 +86,35 @@ func (p *Pool) RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
 	}
 	// The engine exposes its own stats field; copy before the engine is
 	// handed to the next request.
+	out := *st
+	return &out, nil
+}
+
+// RunTraceSource executes one trace-driven simulation on a pooled
+// engine: Reconfigure resets the recycled engine to an observationally
+// fresh state, so the result matches a fresh epoch.New run while
+// steady-state replay reuses the cache hierarchy, the structure rings
+// and the decode batch instead of rebuilding them per trace.
+func (p *Pool) RunTraceSource(ctx context.Context, src trace.FileSource, cfg uarch.Config, warm int64) (*epoch.Stats, error) {
+	cfg.WarmInsts = warm
+	e := p.get()
+	defer p.put(e)
+	if err := e.Reconfigure(cfg); err != nil {
+		return nil, err
+	}
+	// Build the run label (it allocates) only when someone is watching.
+	release := func() {}
+	if o := obs.FromContext(ctx); o != nil && (o.Tracer != nil || o.Board != nil) {
+		release = observeFrom(o, e, "trace "+cfg.Name(), 0, 0)
+	}
+	st, err := e.RunContext(ctx, src)
+	release()
+	if err != nil {
+		return nil, err
+	}
+	if src.Err() != nil {
+		return nil, src.Err()
+	}
 	out := *st
 	return &out, nil
 }

@@ -52,6 +52,11 @@ type Reader struct {
 	err      error
 	one      [1]isa.Inst
 	skip     [256]isa.Inst // Seek decode-discard scratch
+	// scratch backs the fixed-size io.ReadFull reads of the streaming
+	// backend (block length prefix, footer fixed part, index entries):
+	// a stack array passed through the io.Reader interface escapes, so
+	// one heap allocation per block; a struct field costs nothing.
+	scratch [16]byte
 }
 
 // NewReader validates the header of r and returns a sequential Reader.
@@ -266,8 +271,8 @@ func (cr *Reader) nextBlockBytes() bool {
 }
 
 func (cr *Reader) nextBlockStream() bool {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(cr.br, lenBuf[:]); err != nil {
+	lenBuf := cr.scratch[:4]
+	if _, err := io.ReadFull(cr.br, lenBuf); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			cr.fail(ErrTruncated)
 		} else {
@@ -277,7 +282,7 @@ func (cr *Reader) nextBlockStream() bool {
 	}
 	blockOff := cr.streamOff
 	cr.streamOff += 4
-	payloadLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	payloadLen := int(binary.LittleEndian.Uint32(lenBuf))
 	if payloadLen == 0 {
 		// Footer marker: validate totals, swallow the index, check the
 		// trailer, and finish.
@@ -302,7 +307,11 @@ func (cr *Reader) nextBlockStream() bool {
 		return false
 	}
 	// Record what the footer's seek index must later claim about this
-	// block; readFooterStream cross-checks entry by entry.
+	// block; readFooterStream cross-checks entry by entry. Sized up
+	// front so a long stream grows the index a few times, not per block.
+	if cr.index == nil {
+		cr.index = make([]blockIndexEnt, 0, 64)
+	}
 	cr.index = append(cr.index, blockIndexEnt{offset: blockOff, startInst: cr.instPos})
 	return true
 }
@@ -311,8 +320,8 @@ func (cr *Reader) nextBlockStream() bool {
 // stream, cross-checking the declared instruction total against what
 // was actually decoded.
 func (cr *Reader) readFooterStream() {
-	var fixed [12]byte
-	if _, err := io.ReadFull(cr.br, fixed[:]); err != nil {
+	fixed := cr.scratch[:12]
+	if _, err := io.ReadFull(cr.br, fixed); err != nil {
 		cr.fail(fmt.Errorf("%w: cut short in footer: %v", ErrTruncated, err))
 		return
 	}
@@ -330,9 +339,9 @@ func (cr *Reader) readFooterStream() {
 		cr.fail(fmt.Errorf("%w: footer indexes %d blocks, stream held %d", ErrCorrupt, nBlocks, len(cr.index)))
 		return
 	}
-	var ent [16]byte
+	ent := cr.scratch[:16]
 	for i := int64(0); i < nBlocks; i++ {
-		if _, err := io.ReadFull(cr.br, ent[:]); err != nil {
+		if _, err := io.ReadFull(cr.br, ent); err != nil {
 			cr.fail(fmt.Errorf("%w: cut short in seek index: %v", ErrTruncated, err))
 			return
 		}
@@ -344,8 +353,8 @@ func (cr *Reader) readFooterStream() {
 			return
 		}
 	}
-	var trailer [trailerSize]byte
-	if _, err := io.ReadFull(cr.br, trailer[:]); err != nil {
+	trailer := cr.scratch[:trailerSize]
+	if _, err := io.ReadFull(cr.br, trailer); err != nil {
 		cr.fail(fmt.Errorf("%w: cut short in trailer: %v", ErrTruncated, err))
 		return
 	}

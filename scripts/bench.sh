@@ -3,6 +3,7 @@
 #
 #  1. Engine microbenchmarks: BenchmarkEngine + BenchmarkEngineTraced +
 #     BenchmarkEngineTraceDriven + BenchmarkTraceDecode{Legacy,Columnar}
+#     + BenchmarkEngineParallel/k=* + BenchmarkStatsMerge
 #     via `go test -bench`, best-of-N, written to BENCH_engine.json in
 #     the repo root. The engine section carries the delta against the
 #     committed pre-optimization baseline, the tracer-enabled overhead,
@@ -10,6 +11,10 @@
 #     section measures the legacy decoder as the baseline and the
 #     columnar decoder as current, so the speedup is between real
 #     codecs, not a stale constant (BENCH_COUNT overrides N, default 3).
+#     The parallel section records the intra-run segment-scaling curve
+#     (ns_per_op and speedup_vs_serial per K) plus the Stats merge cost,
+#     with num_cpu alongside: on a single-CPU host the curve measures
+#     warm-up overlap overhead, not parallel speedup.
 #  2. Serving-layer benchmark: start a local mlpsimd, replay the
 #     repeated Figure-2-style 64-point grid with mlpload, and write the
 #     measurements (cold vs warm throughput, tail latencies, speedup)
@@ -38,17 +43,25 @@ ENGINE_BASE_ALLOCS=10349
 
 echo '>> engine microbenchmarks (best of '"${BENCH_COUNT:-3}"')'
 go test -run '^$' \
-    -bench '^(BenchmarkEngine|BenchmarkEngineTraced|BenchmarkEngineTraceDriven|BenchmarkTraceDecodeLegacy|BenchmarkTraceDecodeColumnar)$' \
+    -bench '^(BenchmarkEngine|BenchmarkEngineTraced|BenchmarkEngineTraceDriven|BenchmarkEngineParallel|BenchmarkStatsMerge|BenchmarkTraceDecodeLegacy|BenchmarkTraceDecodeColumnar)$' \
     -benchmem -count "${BENCH_COUNT:-3}" . | tee "$tmpdir/bench.out"
 
-awk -v eng_base_ns="$ENGINE_BASE_NS" -v eng_base_allocs="$ENGINE_BASE_ALLOCS" '
+NUM_CPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+awk -v eng_base_ns="$ENGINE_BASE_NS" -v eng_base_allocs="$ENGINE_BASE_ALLOCS" -v num_cpu="$NUM_CPU" '
 $1 ~ /^BenchmarkEngine(-[0-9]+)?$/                { if (eng_ns == 0 || $3 < eng_ns) { eng_ns = $3; eng_allocs = $(NF-1) } }
 $1 ~ /^BenchmarkEngineTraced(-[0-9]+)?$/          { if (trc_ns == 0 || $3 < trc_ns) { trc_ns = $3; trc_allocs = $(NF-1) } }
 $1 ~ /^BenchmarkEngineTraceDriven(-[0-9]+)?$/     { if (td_ns == 0  || $3 < td_ns)  { td_ns = $3;  td_allocs = $(NF-1) } }
 $1 ~ /^BenchmarkTraceDecodeLegacy(-[0-9]+)?$/     { if (leg_ns == 0 || $3 < leg_ns) { leg_ns = $3; leg_allocs = $(NF-1) } }
 $1 ~ /^BenchmarkTraceDecodeColumnar(-[0-9]+)?$/   { if (col_ns == 0 || $3 < col_ns) { col_ns = $3; col_allocs = $(NF-1) } }
+$1 ~ /^BenchmarkEngineParallel\/k=[0-9]+(-[0-9]+)?$/ {
+    k = $1; sub(/^BenchmarkEngineParallel\/k=/, "", k); sub(/-[0-9]+$/, "", k)
+    if (!(k in par_ns)) { par_ks[++par_n] = k }
+    if (par_ns[k] == 0 || $3 < par_ns[k]) { par_ns[k] = $3 }
+}
+$1 ~ /^BenchmarkStatsMerge(-[0-9]+)?$/            { if (mrg_ns == 0 || $3 < mrg_ns) { mrg_ns = $3 } }
 END {
-    if (eng_ns == 0 || trc_ns == 0 || td_ns == 0 || leg_ns == 0 || col_ns == 0) {
+    if (eng_ns == 0 || trc_ns == 0 || td_ns == 0 || leg_ns == 0 || col_ns == 0 || par_n == 0 || mrg_ns == 0 || par_ns[1] == 0) {
         print "bench parse failure" > "/dev/stderr"; exit 1
     }
     eng_insts = 500000; cod_insts = 200000
@@ -68,7 +81,17 @@ END {
     printf "    \"ns_per_op\": %d,\n    \"insts_per_op\": %d,\n", col_ns, cod_insts
     printf "    \"insts_per_sec\": %.0f,\n    \"allocs_per_op\": %d,\n", cod_insts * 1e9 / col_ns, col_allocs
     printf "    \"baseline_ns_per_op\": %d,\n    \"baseline_allocs_per_op\": %d,\n", leg_ns, leg_allocs
-    printf "    \"speedup_vs_baseline\": %.3f\n  }\n", leg_ns / col_ns
+    printf "    \"speedup_vs_baseline\": %.3f\n  },\n", leg_ns / col_ns
+    printf "  \"parallel\": {\n"
+    printf "    \"num_cpu\": %d,\n    \"insts_per_op\": %d,\n", num_cpu, eng_insts
+    printf "    \"merge_ns_per_op\": %d,\n", mrg_ns
+    printf "    \"segments\": [\n"
+    for (i = 1; i <= par_n; i++) {
+        k = par_ks[i]
+        printf "      {\"k\": %d, \"ns_per_op\": %d, \"speedup_vs_serial\": %.3f}%s\n", \
+            k, par_ns[k], par_ns[1] / par_ns[k], (i < par_n ? "," : "")
+    }
+    printf "    ]\n  }\n"
     printf "}\n"
 }' "$tmpdir/bench.out" >BENCH_engine.json
 

@@ -70,9 +70,20 @@ esac
 echo '>> go test -race ./...'
 go test -race "$@" ./...
 
+echo '>> go test -race -cpu 1,2,4 -short (parallel fan-out, merge algebra)'
+# The parallel intra-run path fans one simulation out over goroutines
+# that share the engine pool and the trace mmap; re-run its tests at
+# several GOMAXPROCS values so real interleavings (not just the
+# single-P schedule) pass the race detector. -short drops the golden
+# accuracy grid and overlap sweep — they measure drift, not
+# concurrency, and already ran once in the full -race stage above.
+go test -race -short -cpu 1,2,4 \
+    -run 'TestParallel|TestSplitRun|TestSegments|TestOverlapSweep|TestMerge|TestDefaultParallel' \
+    ./internal/sim/ ./internal/server/ .
+
 echo '>> benchmark smoke (1 iteration)'
 go test -run '^$' \
-    -bench '^(BenchmarkEngine|BenchmarkEngineTraced|BenchmarkEngineTraceDriven|BenchmarkTraceDecodeLegacy|BenchmarkTraceDecodeColumnar)$' \
+    -bench '^(BenchmarkEngine|BenchmarkEngineTraced|BenchmarkEngineTraceDriven|BenchmarkEngineParallel|BenchmarkStatsMerge|BenchmarkTraceDecodeLegacy|BenchmarkTraceDecodeColumnar)$' \
     -benchtime 1x -benchmem .
 
 echo '>> trace format smoke (legacy vs columnar)'
