@@ -18,9 +18,10 @@ vet:
 storemlpvet:
 	$(GO) run ./cmd/storemlpvet ./...
 
-# Standalone invariant lint: the thirteen storemlpvet rules, nothing
-# else. -list first so the log names every rule that ran.
+# Standalone lint: stock go vet plus the seventeen storemlpvet rules.
+# -list first so the log names every rule that ran.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/storemlpvet -list
 	$(GO) run ./cmd/storemlpvet ./...
 

@@ -113,6 +113,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		svc.Close()
 		return err
 	}
 	h := svc.Handler()

@@ -1,18 +1,21 @@
 // Command storemlpvet runs MLPsim's repo-specific static-analysis suite
 // over the module: exhaustive-enum, validate-coverage, stats-drift,
 // floatcmp, ctxmut, resetcomplete, guardedby, hotpath, ctxpoll,
-// lockorder, atomicfield, goleak and digestcover (see DESIGN.md,
-// "Static analysis", "Invariant analyzers" and "Concurrency and
-// digest-integrity analyzers").
+// lockorder, atomicfield, goleak, digestcover, lockbalance,
+// sharedcapture, mergecomplete and closeall (see DESIGN.md, "Static
+// analysis", "Invariant analyzers", "Concurrency and digest-integrity
+// analyzers" and "Flow-sensitive dataflow core").
 //
 // Usage:
 //
-//	storemlpvet [-rule r1,r2] [-json] [-list] [./...]
+//	storemlpvet [-rule r1,r2] [-json] [-list] [-timing] [./...]
 //
 // The package pattern argument is accepted for symmetry with go vet;
 // the suite always analyzes the whole module enclosing the pattern's
-// directory (the invariants it checks are cross-package). Exit status
-// is 0 when clean, 1 when findings are reported, 2 on a load error.
+// directory (the invariants it checks are cross-package). All rules
+// share one type-checked load and one CFG cache; -timing prints each
+// rule's marginal wall time to stderr. Exit status is 0 when clean, 1
+// when findings are reported, 2 on a load error.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"storemlp/internal/analysis"
 )
@@ -37,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ruleFlag := fs.String("rule", "", "comma-separated rule names to run (default: all)")
 	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array")
 	listFlag := fs.Bool("list", false, "list the rules and exit")
+	timingFlag := fs.Bool("timing", false, "print per-rule wall time to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,14 +82,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "storemlpvet: %v\n", err)
 		return 2
 	}
+	loadStart := time.Now()
 	mod, err := analysis.Load(root)
 	if err != nil {
 		fmt.Fprintf(stderr, "storemlpvet: %v\n", err)
 		return 2
 	}
+	loadTime := time.Since(loadStart)
 
-	diags := analysis.Run(mod, analyzers)
+	diags, timings := analysis.RunWithTiming(mod, analyzers)
 	relativize(diags, root)
+	if *timingFlag {
+		var total time.Duration
+		fmt.Fprintf(stderr, "storemlpvet: module load (shared by all rules) %v\n", loadTime.Round(time.Millisecond))
+		for _, tm := range timings {
+			fmt.Fprintf(stderr, "storemlpvet: %-18s %v\n", tm.Rule, tm.Elapsed.Round(time.Millisecond))
+			total += tm.Elapsed
+		}
+		fmt.Fprintf(stderr, "storemlpvet: %-18s %v (rules) / %v (with load)\n",
+			"total", total.Round(time.Millisecond), (total + loadTime).Round(time.Millisecond))
+	}
 
 	if *jsonFlag {
 		type jsonDiag struct {

@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding: a rule violation at a source position.
@@ -63,15 +64,38 @@ func DefaultAnalyzers() []Analyzer {
 				"storemlp.ConfigDigest": "storemlp.RunSpec",
 			},
 		},
+		LockBalance{},
+		SharedCapture{},
+		MergeComplete{Roots: []string{"storemlp/internal/epoch.Stats.Merge"}},
+		CloseAll{},
 	}
 }
 
 // Run executes the analyzers over the module and returns all findings
 // sorted by position then rule.
 func Run(m *Module, analyzers []Analyzer) []Diagnostic {
+	out, _ := RunWithTiming(m, analyzers)
+	return out
+}
+
+// RuleTiming records one analyzer's wall-clock cost over a shared
+// module load.
+type RuleTiming struct {
+	Rule    string
+	Elapsed time.Duration
+}
+
+// RunWithTiming executes the analyzers like Run and additionally
+// reports each rule's wall-clock time, in execution order. All rules
+// share one type-checked module (and one CFG cache), so a rule's cost
+// here is its marginal cost — what dropping it would actually save.
+func RunWithTiming(m *Module, analyzers []Analyzer) ([]Diagnostic, []RuleTiming) {
 	var out []Diagnostic
+	timings := make([]RuleTiming, 0, len(analyzers))
 	for _, a := range analyzers {
+		start := time.Now()
 		out = append(out, a.Run(m)...)
+		timings = append(timings, RuleTiming{Rule: a.Name(), Elapsed: time.Since(start)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -86,7 +110,7 @@ func Run(m *Module, analyzers []Analyzer) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
+	return out, timings
 }
 
 // ---- shared helpers ----

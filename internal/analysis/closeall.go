@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"storemlp/internal/analysis/flow"
+)
+
+// CloseAll checks that every Close-able value a function creates is
+// closed, handed off, or returned on every path out of the function.
+// The leak it targets is the early return threaded past the cleanup —
+//
+//	tw, err := NewWriter(f, 0)
+//	...
+//	if err := tw.Flush(); err != nil {
+//		return err // tw (and its buffers) leak
+//	}
+//	return tw.Close()
+//
+// — which no test catches until a long-running server runs out of
+// descriptors or a truncated trace surfaces days later.
+//
+// A "creation" is a call result bound to a new local variable whose
+// type has a niladic Close method. The obligation is discharged on a
+// path when the value is Closed (plainly or via defer), returned,
+// passed to another call, stored (assignment right-hand side, composite
+// literal, channel send) or captured by a function literal — anything
+// that hands responsibility elsewhere. The error-check branch of the
+// creating assignment is exempt: on the err != nil path the value is
+// dead by convention. Functions or individual creations opt out with
+// //storemlp:noclose.
+//
+// The check is path-sensitive over the flow package's CFG: a leak
+// means there exists a path from the creation to the function exit
+// that passes no discharging block.
+type CloseAll struct{}
+
+// Name implements Analyzer.
+func (CloseAll) Name() string { return "closeall" }
+
+// Doc implements Analyzer.
+func (CloseAll) Doc() string {
+	return "Close-able values created in a function are closed or handed off on every path"
+}
+
+// Run implements Analyzer.
+func (a CloseAll) Run(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			noclose := annotationLines(m, f, "noclose")
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if hasDirective("noclose", fn.Doc) {
+					continue
+				}
+				for _, body := range funcBodies(fn) {
+					out = append(out, a.checkBody(m, pkg, body, noclose)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// creation is one tracked Close-able value.
+type creation struct {
+	v      *types.Var
+	errVar *types.Var // error defined by the same assignment, if any
+	assign *ast.AssignStmt
+	block  *flow.Block
+}
+
+// checkBody finds the body's creations and tests each for a
+// leak path to the exit.
+func (a CloseAll) checkBody(m *Module, pkg *Package, body *ast.BlockStmt, noclose map[int]bool) []Diagnostic {
+	g := m.CFG(body)
+	reach := g.Reachable()
+	var created []creation
+	for _, blk := range g.Blocks {
+		if !reach[blk] {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			line := m.Fset.Position(as.Pos()).Line
+			if noclose[line] || noclose[line-1] {
+				continue
+			}
+			for _, c := range creationsIn(pkg, as) {
+				c.block = blk
+				created = append(created, c)
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, c := range created {
+		if a.leaks(pkg, g, reach, c) {
+			out = append(out, Diagnostic{
+				Pos:  m.Fset.Position(c.assign.Pos()),
+				Rule: a.Name(),
+				Message: fmt.Sprintf("%s (%s) is not closed on every path out of the function (close it, hand it off, or annotate //storemlp:noclose)",
+					c.v.Name(), c.v.Type().String()),
+			})
+		}
+	}
+	return out
+}
+
+// creationsIn extracts the Close-able values the assignment creates:
+// new variables bound to call results.
+func creationsIn(pkg *Package, as *ast.AssignStmt) []creation {
+	// Position i's RHS: the single (possibly multi-value) call, or the
+	// i-th expression of a parallel assignment.
+	rhsAt := func(i int) ast.Expr {
+		if len(as.Rhs) == 1 {
+			return as.Rhs[0]
+		}
+		if i < len(as.Rhs) {
+			return as.Rhs[i]
+		}
+		return nil
+	}
+	var out []creation
+	var errVar *types.Var
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v, ok := pkg.Info.Defs[id].(*types.Var)
+		if !ok {
+			// A reassigned err ("f, err := ..." with err already in
+			// scope) still names the creation's error.
+			if u, isUse := pkg.Info.Uses[id].(*types.Var); isUse &&
+				u.Type() != nil && u.Type().String() == "error" {
+				errVar = u
+			}
+			continue // reassignment or blank: not a fresh obligation
+		}
+		if v.Type() != nil && v.Type().String() == "error" {
+			errVar = v
+			continue
+		}
+		call, ok := rhsAt(i).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			continue // conversion, not a constructor
+		}
+		if !hasNiladicClose(v.Type()) {
+			continue
+		}
+		out = append(out, creation{v: v, assign: as})
+	}
+	for i := range out {
+		out[i].errVar = errVar
+	}
+	return out
+}
+
+// hasNiladicClose reports whether t (or *t) has an io.Closer-shaped
+// Close method: no arguments, exactly one error result. The result
+// check matters — reflect.Value and friends carry a niladic Close that
+// has nothing to do with resource ownership.
+func hasNiladicClose(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Close")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() == 0 &&
+		sig.Results().Len() == 1 && sig.Results().At(0).Type().String() == "error"
+}
+
+// leaks reports whether some path from the creation reaches the exit
+// without discharging the obligation.
+func (a CloseAll) leaks(pkg *Package, g *flow.Graph, reach map[*flow.Block]bool, c creation) bool {
+	discharged := map[*flow.Block]bool{}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if n == ast.Node(c.assign) {
+				continue // the creation itself is not a discharge
+			}
+			if dischargesObligation(pkg, n, c.v) {
+				discharged[blk] = true
+				break
+			}
+		}
+	}
+	if discharged[c.block] {
+		// Same-block discharge: every path through the creation passes
+		// it. (Node order within the block is not modeled; a discharge
+		// textually before the creation in one straight-line block is
+		// treated as covering, which cannot produce a false negative on
+		// real control flow.)
+		return false
+	}
+	// DFS from the creation block toward the exit, avoiding discharging
+	// blocks and the error branch of the creating assignment.
+	seen := map[*flow.Block]bool{c.block: true}
+	stack := []*flow.Block{c.block}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i, s := range blk.Succs {
+			if seen[s] || !reach[s] || discharged[s] {
+				continue
+			}
+			if c.errVar != nil && errEdge(pkg, blk, i, c.errVar) {
+				continue // value is dead on the error path by convention
+			}
+			if s == g.Exit {
+				return true
+			}
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	return false
+}
+
+// errEdge reports whether taking successor i of blk follows the
+// "creation failed" branch: the block's condition compares the
+// creation's error against nil — or classifies it with
+// errors.Is/errors.As — and edge i is the error side. Succs[0] is the
+// true edge.
+func errEdge(pkg *Package, blk *flow.Block, i int, errVar *types.Var) bool {
+	// errors.Is(err, X) / errors.As(err, &x): true means err is non-nil,
+	// so the true edge is an error path on which the value is dead.
+	if call, ok := blk.Cond.(*ast.CallExpr); ok && len(call.Args) == 2 {
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel &&
+			(sel.Sel.Name == "Is" || sel.Sel.Name == "As") {
+			if pkgID, isID := sel.X.(*ast.Ident); isID {
+				if _, isPkg := pkg.Info.Uses[pkgID].(*types.PkgName); isPkg && pkgID.Name == "errors" {
+					if argID, isID := call.Args[0].(*ast.Ident); isID && pkg.Info.Uses[argID] == errVar {
+						return i == 0
+					}
+				}
+			}
+		}
+		return false
+	}
+	be, ok := blk.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op != token.NEQ && be.Op != token.EQL {
+		return false
+	}
+	mentions := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pkg.Info.Uses[id] == errVar
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if !(mentions(be.X) && isNil(be.Y)) && !(mentions(be.Y) && isNil(be.X)) {
+		return false
+	}
+	errSide := 0 // err != nil: true edge is the error path
+	if be.Op == token.EQL {
+		errSide = 1 // err == nil: false edge is the error path
+	}
+	return i == errSide
+}
+
+// dischargesObligation reports whether the node hands the value's
+// close responsibility elsewhere: a Close call on it, a return, a call
+// argument, a store, a channel send, or capture by a function literal.
+func dischargesObligation(pkg *Package, n ast.Node, v *types.Var) bool {
+	usesV := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(e, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok && pkg.Info.Uses[id] == v {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := c.(type) {
+		case *ast.FuncLit:
+			if usesV(x) {
+				found = true // captured: the literal owns it now
+			}
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if usesV(r) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesV(x.Value) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				if usesV(r) {
+					found = true
+				}
+			}
+		case *ast.CompositeLit:
+			if usesV(x) {
+				found = true
+			}
+			return false
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				if id, ok := sel.X.(*ast.Ident); ok && pkg.Info.Uses[id] == v {
+					found = true
+					return false
+				}
+			}
+			for _, arg := range x.Args {
+				if usesV(arg) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -274,7 +274,7 @@ func nodigestFields(m *Module) map[token.Pos]bool {
 					return true
 				}
 				for _, field := range st.Fields.List {
-					if !commentHasMarker("storemlp:nodigest", field.Doc, field.Comment) {
+					if !hasDirective("nodigest", field.Doc, field.Comment) {
 						continue
 					}
 					for _, name := range field.Names {

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseDirectives(t *testing.T) {
+	cases := []struct {
+		text    string
+		want    []Directive
+		wantErr string
+	}{
+		{text: "// no directives here", want: nil},
+		{text: "//storemlp:keep", want: []Directive{{Name: "keep"}}},
+		{text: "// retained across resets //storemlp:keep (see DESIGN.md)",
+			want: []Directive{{Name: "keep"}}},
+		{text: "//storemlp:noalloc //storemlp:inline",
+			want: []Directive{{Name: "noalloc"}, {Name: "inline"}}},
+		{text: "//storemlp:lockafter(P.mu)",
+			want: []Directive{{Name: "lockafter", Args: []string{"P.mu"}}}},
+		{text: "//storemlp:lockafter(a.mu, b.mu)",
+			want: []Directive{{Name: "lockafter", Args: []string{"a.mu", "b.mu"}}}},
+		{text: "//storemlp:noaloc", wantErr: "unknown directive"},
+		{text: "//storemlp:", wantErr: "unknown directive"},
+		{text: "//storemlp:lockafter", wantErr: "requires arguments"},
+		{text: "//storemlp:lockafter()", wantErr: "empty argument"},
+		{text: "//storemlp:lockafter(a,,b)", wantErr: "empty argument"},
+		{text: "//storemlp:lockafter(a.mu", wantErr: "unterminated"},
+		{text: "//storemlp:keep(why)", wantErr: "takes no arguments"},
+		{text: "//storemlp:daemon //storemlp:bogus", wantErr: "unknown directive"},
+	}
+	for _, tc := range cases {
+		got, err := ParseDirectives(tc.text)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseDirectives(%q) err = %v, want containing %q", tc.text, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseDirectives(%q) unexpected error: %v", tc.text, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseDirectives(%q) = %+v, want %+v", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestHasDirective(t *testing.T) {
+	group := func(lines ...string) *ast.CommentGroup {
+		g := &ast.CommentGroup{}
+		for _, l := range lines {
+			g.List = append(g.List, &ast.Comment{Text: l})
+		}
+		return g
+	}
+	if !hasDirective("locked", group("// held by caller", "//storemlp:locked")) {
+		t.Error("hasDirective missed a directive in a multi-line group")
+	}
+	if hasDirective("locked", nil, group("// mentions locked but no directive")) {
+		t.Error("hasDirective matched plain prose")
+	}
+	// A comment that fails to parse contributes nothing, even when the
+	// wanted directive precedes the error.
+	if hasDirective("locked", group("//storemlp:locked //storemlp:bogus")) {
+		t.Error("hasDirective accepted a comment with a parse error")
+	}
+}
+
+// FuzzDirectiveParse fuzzes the //storemlp: grammar. Seeds cover every
+// directive form used in the live tree plus the rejection cases; the
+// invariants are that parsing never panics and that any accepted parse
+// is well-formed (known names, argument arity respected) and stable
+// under re-rendering.
+func FuzzDirectiveParse(f *testing.F) {
+	for _, seed := range []string{
+		"//storemlp:daemon",
+		"//storemlp:inline",
+		"//storemlp:keep",
+		"//storemlp:lockafter(P.mu)",
+		"//storemlp:lockafter(sim.Pool.mu, server.Cache.mu)",
+		"//storemlp:locked",
+		"//storemlp:noalloc",
+		"//storemlp:noclose",
+		"//storemlp:nodigest",
+		"//storemlp:nomerge",
+		"//storemlp:owned",
+		"//storemlp:noalloc //storemlp:inline",
+		"// keep this field //storemlp:keep (survives Reset)",
+		"//storemlp:bogus",
+		"//storemlp:lockafter",
+		"//storemlp:lockafter()",
+		"//storemlp:keep(arg)",
+		"//storemlp:lockafter(a.mu",
+		"//storemlp:",
+		"storemlp:storemlp:keep",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		ds, err := ParseDirectives(text)
+		if err != nil {
+			return
+		}
+		var rendered []string
+		for _, d := range ds {
+			if takesArgs, known := directiveTakesArgs[d.Name]; !known {
+				t.Fatalf("accepted unknown directive %q from %q", d.Name, text)
+			} else if takesArgs != (len(d.Args) > 0) {
+				t.Fatalf("directive %q arity mismatch (args %q) from %q", d.Name, d.Args, text)
+			}
+			for _, arg := range d.Args {
+				if arg == "" || arg != strings.TrimSpace(arg) {
+					t.Fatalf("directive %q has unnormalized arg %q from %q", d.Name, arg, text)
+				}
+				if strings.ContainsAny(arg, "(),") {
+					t.Fatalf("directive %q arg %q contains grammar metacharacters", d.Name, arg)
+				}
+			}
+			s := "//storemlp:" + d.Name
+			if len(d.Args) > 0 {
+				s += "(" + strings.Join(d.Args, ", ") + ")"
+			}
+			rendered = append(rendered, s)
+		}
+		// Re-rendering the accepted parse and parsing again must be a
+		// fixed point: the grammar has one canonical reading.
+		again, err := ParseDirectives(strings.Join(rendered, " "))
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", rendered, text, err)
+		}
+		if !reflect.DeepEqual(ds, again) {
+			t.Fatalf("re-parse of %q = %+v, want %+v", rendered, again, ds)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FreeVars returns the variables used inside the function literal but
+// declared in an enclosing function — the literal's captures. Package-
+// level variables and struct fields are not captures (they are shared
+// by name, not by closure), and are excluded. The result is sorted by
+// declaration position for deterministic reporting.
+func FreeVars(info *types.Info, lit *ast.FuncLit) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal (param or local)
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// Write is one assignment through a variable: the def half of a
+// def-use chain. Base records how far the write is from the variable
+// itself — a plain write (x = ...), an element write (x[i] = ...), a
+// field write (x.f = ...) or a write through a pointer (*x = ...).
+type Write struct {
+	// Var is the base variable the write reaches storage through.
+	Var *types.Var
+	// Node is the assignment, incdec or range statement performing the
+	// write.
+	Node ast.Node
+	// Target is the full left-hand-side expression.
+	Target ast.Expr
+	// Indexes are the index expressions crossed on the way to Var
+	// (innermost first), e.g. i and j for x[j][i] = v.
+	Indexes []ast.Expr
+	// Deref is true when the write goes through a pointer dereference.
+	Deref bool
+	// Field is true when the write targets a field of Var's value.
+	Field bool
+}
+
+// Writes collects every assignment under root (including nested
+// function literals) and resolves each left-hand side to its base
+// variable. Short-variable declarations of new variables are
+// definitions, not writes; a := that re-uses an existing variable is a
+// write to it.
+func Writes(info *types.Info, root ast.Node) []Write {
+	var out []Write
+	add := func(n ast.Node, lhs ast.Expr) {
+		if w, ok := resolveWrite(info, n, lhs); ok {
+			out = append(out, w)
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				add(st, lhs)
+			}
+		case *ast.IncDecStmt:
+			add(st, st.X)
+		case *ast.RangeStmt:
+			if st.Tok.String() == "=" {
+				if st.Key != nil {
+					add(st, st.Key)
+				}
+				if st.Value != nil {
+					add(st, st.Value)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// resolveWrite unwraps one LHS expression to its base variable.
+func resolveWrite(info *types.Info, n ast.Node, lhs ast.Expr) (Write, bool) {
+	w := Write{Node: n, Target: lhs}
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			w.Indexes = append(w.Indexes, x.Index)
+			e = x.X
+		case *ast.StarExpr:
+			w.Deref = true
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					// pkg.Var = ...: the base is the package-level var.
+					if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+						w.Var = v
+						return w, true
+					}
+					return w, false
+				}
+			}
+			w.Field = true
+			e = x.X
+		case *ast.Ident:
+			if x.Name == "_" {
+				return w, false
+			}
+			if info.Defs[x] != nil {
+				return w, false // new variable: a definition, not a write
+			}
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				w.Var = v
+				return w, true
+			}
+			return w, false
+		default:
+			return w, false // opaque target (call result, composite, ...)
+		}
+	}
+}

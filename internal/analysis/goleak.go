@@ -43,7 +43,7 @@ func (a GoLeak) Run(m *Module) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range m.SortedPackages() {
 		for _, f := range pkg.Files {
-			daemonLines := annotationLines(m, f, "storemlp:daemon")
+			daemonLines := annotationLines(m, f, "daemon")
 			for _, decl := range f.Decls {
 				fn, ok := decl.(*ast.FuncDecl)
 				if !ok || fn.Body == nil {
@@ -52,7 +52,7 @@ func (a GoLeak) Run(m *Module) []Diagnostic {
 				if contextParam(pkg, fn) == nil {
 					continue
 				}
-				if commentHasMarker("storemlp:daemon", fn.Doc) {
+				if hasDirective("daemon", fn.Doc) {
 					continue
 				}
 				ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -81,14 +81,14 @@ func (a GoLeak) Run(m *Module) []Diagnostic {
 	return out
 }
 
-// annotationLines maps source lines whose comments carry the marker —
-// so a //storemlp:daemon on or immediately above a `go` statement can
-// bless that statement alone.
-func annotationLines(m *Module, f *ast.File, marker string) map[int]bool {
+// annotationLines maps source lines whose comments carry the named
+// //storemlp: directive — so a //storemlp:daemon on or immediately
+// above a `go` statement can bless that statement alone.
+func annotationLines(m *Module, f *ast.File, name string) map[int]bool {
 	lines := map[int]bool{}
 	for _, g := range f.Comments {
 		for _, c := range g.List {
-			if commentHasMarker(marker, &ast.CommentGroup{List: []*ast.Comment{c}}) {
+			if hasDirective(name, &ast.CommentGroup{List: []*ast.Comment{c}}) {
 				lines[m.Fset.Position(c.End()).Line] = true
 			}
 		}

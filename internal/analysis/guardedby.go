@@ -5,6 +5,8 @@ import (
 	"go/ast"
 	"go/types"
 	"regexp"
+
+	"storemlp/internal/analysis/flow"
 )
 
 // guardedByRe extracts the mutex name from a "// guarded by mu" field
@@ -14,22 +16,32 @@ var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
 
 // GuardedBy enforces the documented locking discipline of the service
 // layer: a struct field annotated "// guarded by <mu>" may only be read
-// or written while that mutex is lexically held — an X.Lock() (or
-// X.RLock()) earlier in the enclosing statement list, not yet released,
-// or a deferred X.Unlock(). Functions that run entirely under a lock
-// taken by their caller opt out with a //storemlp:locked annotation.
+// or written while that mutex is held on every control-flow path to the
+// access — an X.Lock() (or X.RLock()) that reaches the access on all
+// paths, not yet released, or a deferred X.Unlock(). Functions that run
+// entirely under a lock taken by their caller opt out with a
+// //storemlp:locked annotation.
 //
-// The check is lexical, not interprocedural: it catches the bug class
-// the -race detector only finds when the schedule cooperates — a field
-// touched outside its critical section — at compile time, every run.
-type GuardedBy struct{}
+// The check is path-sensitive over the flow package's CFG: held state
+// merges by intersection at join points, so a mutex released on one
+// branch no longer counts as held after the join, and a release at the
+// bottom of a loop flows around the back edge into the next
+// iteration's reads. It is still not interprocedural — it catches the
+// bug class the -race detector only finds when the schedule cooperates,
+// at compile time, every run.
+type GuardedBy struct {
+	// Lexical reverts to the pre-CFG per-statement-list walker (branch
+	// releases leak past joins, loop back edges are invisible). Kept as
+	// the regression baseline the fixture tests pin the port against.
+	Lexical bool
+}
 
 // Name implements Analyzer.
 func (GuardedBy) Name() string { return "guardedby" }
 
 // Doc implements Analyzer.
 func (GuardedBy) Doc() string {
-	return `fields annotated "guarded by <mu>" are only accessed with that mutex lexically held`
+	return `fields annotated "guarded by <mu>" are only accessed with that mutex held on every path`
 }
 
 // guardSet maps "pkgpath.TypeName" -> field name -> mutex field name.
@@ -49,11 +61,15 @@ func (a GuardedBy) Run(m *Module) []Diagnostic {
 				if !ok || fn.Body == nil {
 					continue
 				}
-				if commentHasMarker("storemlp:locked", fn.Doc) {
+				if hasDirective("locked", fn.Doc) {
 					continue
 				}
 				w := &guardWalker{m: m, pkg: pkg, guards: guards}
-				w.stmts(fn.Body.List, map[string]bool{})
+				if a.Lexical {
+					w.stmts(fn.Body.List, map[string]bool{})
+				} else {
+					w.flowRun(fn)
+				}
 				out = append(out, w.out...)
 			}
 		}
@@ -123,15 +139,58 @@ func guardAnnotation(field *ast.Field) string {
 	return ""
 }
 
-// guardWalker tracks the lexically held mutexes through one function
-// body. Locks taken at one nesting level are visible to deeper levels
-// (each compound statement walks its children with a copy of the held
-// set), and a lock taken inside a block does not leak past it.
+// guardWalker tracks the held mutexes through one function body. In
+// flow mode (the default) held state comes from the CFG's lock lattice;
+// in lexical mode, locks taken at one nesting level are visible to
+// deeper levels (each compound statement walks its children with a copy
+// of the held set), and a lock taken inside a block does not leak past
+// it.
 type guardWalker struct {
 	m      *Module
 	pkg    *Package
 	guards guardSet
 	out    []Diagnostic
+}
+
+// lockClassifier adapts lockCall to the flow package's interface: lock
+// identity is the rendered mutex expression ("q.mu"), matching the
+// per-instance spelling the guard annotations use.
+func lockClassifier(call *ast.CallExpr) (string, flow.LockOp) {
+	id, op := lockCall(call)
+	switch op {
+	case lockAcquire:
+		return id, flow.OpAcquire
+	case lockRelease:
+		return id, flow.OpRelease
+	}
+	return "", flow.OpNone
+}
+
+// flowRun checks fn path-sensitively: each body (the function's own and
+// every nested literal's, which may run on another goroutine) gets its
+// own CFG and must-held lock solution, and every guarded access is
+// checked against the state the lattice proves at that point.
+func (w *guardWalker) flowRun(fn *ast.FuncDecl) {
+	for _, body := range funcBodies(fn) {
+		g := w.m.CFG(body)
+		lk := flow.SolveLocks(g, lockClassifier, true)
+		for _, blk := range g.Blocks {
+			lk.Walk(blk, func(n ast.Node, held flow.LockSet) {
+				ast.Inspect(n, func(c ast.Node) bool {
+					switch x := c.(type) {
+					case *ast.FuncLit:
+						return false // analyzed as its own body
+					case *ast.SelectorExpr:
+						w.checkAccess(x, func(mu string) bool {
+							_, ok := held[mu]
+							return ok
+						})
+					}
+					return true
+				})
+			})
+		}
+	}
 }
 
 func (w *guardWalker) stmts(list []ast.Stmt, held map[string]bool) {
@@ -248,7 +307,7 @@ func (w *guardWalker) exprStmtNode(n ast.Node, held map[string]bool) {
 			w.stmt(x.Body, map[string]bool{})
 			return false
 		case *ast.SelectorExpr:
-			w.checkAccess(x, held)
+			w.checkAccess(x, func(mu string) bool { return held[mu] })
 		}
 		return true
 	})
@@ -256,7 +315,7 @@ func (w *guardWalker) exprStmtNode(n ast.Node, held map[string]bool) {
 
 // checkAccess reports x.f when f is a guarded field and the guarding
 // mutex (rendered against the same base expression x) is not held.
-func (w *guardWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+func (w *guardWalker) checkAccess(sel *ast.SelectorExpr, held func(string) bool) {
 	selection, ok := w.pkg.Info.Selections[sel]
 	if !ok || selection.Kind() != types.FieldVal {
 		return
@@ -274,7 +333,7 @@ func (w *guardWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
 		return
 	}
 	required := renderExpr(sel.X) + "." + mu
-	if held[required] {
+	if held(required) {
 		return
 	}
 	w.out = append(w.out, Diagnostic{

@@ -155,8 +155,8 @@ func (a HotPath) collect(m *Module) map[string][]*hotFunc {
 				if !ok || fn.Body == nil {
 					continue
 				}
-				noalloc := commentHasMarker("storemlp:noalloc", fn.Doc)
-				inline := commentHasMarker("storemlp:inline", fn.Doc)
+				noalloc := hasDirective("noalloc", fn.Doc)
+				inline := hasDirective("inline", fn.Doc)
 				if !noalloc && !inline {
 					continue
 				}

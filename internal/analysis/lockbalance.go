@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"storemlp/internal/analysis/flow"
+)
+
+// LockBalance checks that every mutex acquisition is balanced by a
+// release on every control-flow path out of the function: a plain
+// Unlock on the path, or a deferred Unlock that covers every exit. The
+// classic shape it catches is the early return threaded past a paired
+// Unlock —
+//
+//	mu.Lock()
+//	if err != nil {
+//		return err // mu still held: every later caller deadlocks
+//	}
+//	mu.Unlock()
+//
+// — which -race never sees (it is not a race) and which deadlocks the
+// process the next time anyone takes the lock.
+//
+// The check runs over the flow package's CFG with may-join semantics: a
+// lock that reaches the function exit still plainly held on *some* path
+// is reported at its acquisition site. A deferred unlock downgrades the
+// lock to deferred-held, which is balanced by definition, so the
+// conditional-acquire idiom
+//
+//	if c { mu.Lock(); defer mu.Unlock() }
+//
+// stays clean. Functions that intentionally return holding the lock
+// (lock-handoff helpers) opt out with //storemlp:locked on the function
+// doc, the same annotation guardedby honors for callee-held locks.
+//
+// Lock identity is the rendered expression ("q.mu"), so a lock taken on
+// one receiver and released on another is a leak, not a wash.
+type LockBalance struct{}
+
+// Name implements Analyzer.
+func (LockBalance) Name() string { return "lockbalance" }
+
+// Doc implements Analyzer.
+func (LockBalance) Doc() string {
+	return "every mutex Lock is released on every path out of the function (defer counts)"
+}
+
+// Run implements Analyzer.
+func (a LockBalance) Run(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.SortedPackages() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if hasDirective("locked", fn.Doc) {
+					continue // lock handoff is this function's contract
+				}
+				for _, body := range funcBodies(fn) {
+					out = append(out, a.checkBody(m, body)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkBody reports every lock that reaches the body's exit plainly
+// held on some path.
+func (a LockBalance) checkBody(m *Module, body *ast.BlockStmt) []Diagnostic {
+	g := m.CFG(body)
+	lk := flow.SolveLocks(g, lockClassifier, false)
+	atExit := lk.In(g.Exit)
+	if atExit == nil {
+		return nil // exit unreachable: the body never returns
+	}
+	var out []Diagnostic
+	for id, status := range atExit {
+		if status != flow.HeldPlain {
+			continue // deferred unlock covers every exit
+		}
+		out = append(out, Diagnostic{
+			Pos:  m.Fset.Position(acquirePos(g, id)),
+			Rule: a.Name(),
+			Message: fmt.Sprintf("%s can still be held when the function returns (unlock it on every path, or defer the unlock; lock-handoff functions opt out with //storemlp:locked)",
+				id),
+		})
+	}
+	return out
+}
+
+// acquirePos finds the first acquisition site of the lock in the graph,
+// for a stable diagnostic position.
+func acquirePos(g *flow.Graph, id string) token.Pos {
+	pos := token.NoPos
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(c ast.Node) bool {
+				if _, ok := c.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := c.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if cid, op := lockClassifier(call); op == flow.OpAcquire && cid == id {
+					if pos == token.NoPos || call.Pos() < pos {
+						pos = call.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	return pos
+}

@@ -25,6 +25,8 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+
+	"storemlp/internal/analysis/flow"
 )
 
 // Package is one loaded, parsed and type-checked package of the module.
@@ -52,6 +54,9 @@ type Module struct {
 	Fset *token.FileSet
 	// Pkgs maps import path to package, including the root package.
 	Pkgs map[string]*Package
+	// cfgs memoizes per-body control-flow graphs across analyzers; see
+	// Module.CFG.
+	cfgs map[*ast.BlockStmt]*flow.Graph
 }
 
 // Lookup returns the package with the given import path, or nil.

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"go/constant"
+	"runtime"
+	"testing"
+)
+
+// otherGOOS returns a real GOOS that is not the host's, for negative
+// suffix cases.
+func otherGOOS() string {
+	if runtime.GOOS == "linux" {
+		return "windows"
+	}
+	return "linux"
+}
+
+// otherGOARCH returns a real GOARCH that is not the host's.
+func otherGOARCH() string {
+	if runtime.GOARCH == "amd64" {
+		return "arm64"
+	}
+	return "amd64"
+}
+
+func TestFileBuildsSuffixes(t *testing.T) {
+	goos, goarch := runtime.GOOS, runtime.GOARCH
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"plain.go", true},
+		{fmt.Sprintf("x_%s.go", goos), true},
+		{fmt.Sprintf("x_%s.go", otherGOOS()), false},
+		{fmt.Sprintf("x_%s.go", goarch), true},
+		{fmt.Sprintf("x_%s.go", otherGOARCH()), false},
+		{fmt.Sprintf("x_%s_%s.go", goos, goarch), true},
+		{fmt.Sprintf("x_%s_%s.go", otherGOOS(), goarch), false},
+		{fmt.Sprintf("x_%s_%s.go", goos, otherGOARCH()), false},
+		// An OS name not in the final suffix position does not
+		// constrain: only the trailing _GOOS[_GOARCH] counts.
+		{fmt.Sprintf("%s_helpers.go", otherGOOS()), true},
+		// Suffix words that are no platform at all constrain nothing.
+		{"x_test_utils.go", true},
+	}
+	for _, tc := range cases {
+		if got := fileBuilds(tc.name, []byte("package p\n")); got != tc.want {
+			t.Errorf("fileBuilds(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFileBuildsConstraintLines(t *testing.T) {
+	goos := runtime.GOOS
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"//go:build " + goos + "\n\npackage p\n", true},
+		{"//go:build !" + goos + "\n\npackage p\n", false},
+		{"//go:build " + otherGOOS() + "\n\npackage p\n", false},
+		{"//go:build " + goos + " || " + otherGOOS() + "\n\npackage p\n", true},
+		{"//go:build " + goos + " && " + otherGOOS() + "\n\npackage p\n", false},
+		{"//go:build go1.21\n\npackage p\n", true},
+		{"//go:build gc\n\npackage p\n", true},
+		{"//go:build some_custom_tag\n\npackage p\n", false},
+		{"//go:build !some_custom_tag\n\npackage p\n", true},
+		// A //go:build line after the package clause is not a
+		// constraint; the header scan must stop at "package".
+		{"package p\n\n//go:build " + otherGOOS() + "\nvar X = 1\n", true},
+		// Malformed constraints defer to the parser's error reporting.
+		{"//go:build &&\n\npackage p\n", true},
+	}
+	for _, tc := range cases {
+		if got := fileBuilds("plain.go", []byte(tc.src)); got != tc.want {
+			t.Errorf("fileBuilds(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+
+	unixWant := unixGOOS[goos]
+	if got := fileBuilds("plain.go", []byte("//go:build unix\n\npackage p\n")); got != unixWant {
+		t.Errorf("fileBuilds(unix tag) = %v, want %v on %s", got, unixWant, goos)
+	}
+}
+
+// TestLoadHonorsBuildConstraints loads a module whose package declares
+// the same constant in one file per platform (suffix-selected) plus a
+// !linux/!darwin/!windows fallback, a release-tagged file, and a file
+// behind a never-true tag that would redeclare the constant: type
+// checking succeeds only if the loader picks exactly the host's file
+// set.
+func TestLoadHonorsBuildConstraints(t *testing.T) {
+	m := loadTestModule(t, "constrained")
+	pkg := m.Lookup("example.com/constrained/plat")
+	if pkg == nil {
+		t.Fatal("package example.com/constrained/plat not loaded")
+	}
+	want := runtime.GOOS
+	switch want {
+	case "linux", "darwin", "windows":
+	default:
+		want = "other"
+	}
+	obj := pkg.Types.Scope().Lookup("OS")
+	if obj == nil {
+		t.Fatal("constant OS not found (no platform file selected)")
+	}
+	got := constant.StringVal(obj.(interface{ Val() constant.Value }).Val())
+	if got != want {
+		t.Errorf("constrained OS = %q, want %q", got, want)
+	}
+	if tagged := pkg.Types.Scope().Lookup("Tagged"); tagged == nil {
+		t.Error("constant Tagged not found (release-tagged file dropped)")
+	}
+	if len(pkg.Files) != 2 {
+		t.Errorf("loaded %d files, want 2 (platform file + release-tagged file)", len(pkg.Files))
+	}
+}

@@ -96,7 +96,7 @@ func (a ResetComplete) check(m *Module, pkg *Package, fn *ast.FuncDecl, recv *ty
 	}
 	var out []Diagnostic
 	for _, field := range fields {
-		if commentHasMarker("storemlp:keep", field.Doc, field.Comment) {
+		if hasDirective("keep", field.Doc, field.Comment) {
 			continue
 		}
 		for _, name := range field.Names {

@@ -1,0 +1,3 @@
+module example.com/closebad
+
+go 1.21

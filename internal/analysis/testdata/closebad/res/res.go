@@ -1,0 +1,100 @@
+// Package res exercises the closeall analyzer: Leak returns early past
+// the Close, Good defers it, Branch closes on both exits, HandOff
+// returns the value and Feed passes it along, ErrPath relies on the
+// err != nil exemption, Sink opts out with //storemlp:noclose.
+package res
+
+import "errors"
+
+// R is a Close-able resource.
+type R struct{ open bool }
+
+// Close releases R.
+func (r *R) Close() error {
+	r.open = false
+	return nil
+}
+
+// ErrNotReady trips the validation branch in Leak.
+var ErrNotReady = errors.New("not ready")
+
+// Open creates an R, or fails.
+func Open(name string) (*R, error) {
+	if name == "" {
+		return nil, errors.New("empty name")
+	}
+	return &R{open: true}, nil
+}
+
+// validate stands in for mid-function work that can fail.
+func validate(r *R) error {
+	if !r.open {
+		return ErrNotReady
+	}
+	return nil
+}
+
+// Leak threads an early return past the Close.
+func Leak(name string, limit int) error {
+	r, err := Open(name)
+	if err != nil {
+		return err
+	}
+	if limit <= 0 {
+		return ErrNotReady // r leaks on this path
+	}
+	return r.Close()
+}
+
+// Good defers the Close right after the error check.
+func Good(name string) error {
+	r, err := Open(name)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	return validate(r)
+}
+
+// Branch closes on both the early-out and the fall-through.
+func Branch(name string, quick bool) error {
+	r, err := Open(name)
+	if err != nil {
+		return err
+	}
+	if quick {
+		return r.Close()
+	}
+	verr := validate(r)
+	cerr := r.Close()
+	if verr != nil {
+		return verr
+	}
+	return cerr
+}
+
+// HandOff returns the resource: the caller owns it now.
+func HandOff(name string) (*R, error) {
+	r, err := Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Feed passes the resource to a consumer that takes ownership.
+func Feed(name string, consume func(*R)) error {
+	r, err := Open(name)
+	if err != nil {
+		return err
+	}
+	consume(r)
+	return nil
+}
+
+// Sink deliberately never closes; the annotation documents it.
+func Sink(name string) {
+	//storemlp:noclose
+	r, _ := Open(name)
+	r.open = false
+}

@@ -1,0 +1,3 @@
+module example.com/constrained
+
+go 1.21

@@ -1,0 +1,6 @@
+//go:build go1.21
+
+package plat
+
+// Tagged is selected everywhere: release tags always evaluate true.
+const Tagged = true

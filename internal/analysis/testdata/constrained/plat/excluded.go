@@ -1,0 +1,7 @@
+//go:build storemlp_never
+
+package plat
+
+// OS would collide with the platform files: if the loader ever picks
+// this file up, type-checking the package fails loudly.
+const OS = "excluded"

@@ -1,0 +1,4 @@
+package plat
+
+// OS names the platform this file was selected for.
+const OS = "linux"

@@ -1,0 +1,6 @@
+//go:build !linux && !darwin && !windows
+
+package plat
+
+// OS names the platform this file was selected for.
+const OS = "other"

@@ -34,3 +34,45 @@ func Bad(ctx context.Context, src trace.Source) int64 {
 		n++
 	}
 }
+
+// RarePoll parks the only poll on a debug branch: the common iteration
+// path consumes and loops back without ever checking ctx. The lexical
+// check sees "a poll somewhere in the body" and stays quiet; the
+// path-sensitive check flags it.
+func RarePoll(ctx context.Context, src trace.Source, debug bool) int64 {
+	var n int64
+	for {
+		if debug {
+			if ctx.Err() != nil {
+				return n
+			}
+		}
+		if _, ok := src.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// BatchRefill polls only on the refill branch, mirroring the engine's
+// hot loop: the paths that skip the poll also skip the consumption, so
+// the cancellation bound holds and the loop is clean.
+func BatchRefill(ctx context.Context, src trace.Source) (int64, error) {
+	buf := make([]trace.Inst, 64)
+	bi, bn := 0, 0
+	var n int64
+	for {
+		if bi == bn {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+			bn = trace.Fill(src, buf)
+			if bn == 0 {
+				return n, nil
+			}
+			bi = 0
+		}
+		n++
+		bi++
+	}
+}

@@ -1,0 +1,55 @@
+// Package flowq exercises the path-sensitive side of the guardedby
+// analyzer: every bug here is invisible to the lexical walker because
+// the release happens on a branch or at the bottom of a loop, and only
+// the CFG join (intersection) or the loop back edge exposes it.
+package flowq
+
+import "sync"
+
+// S is a mutex-guarded counter.
+type S struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// BranchRelease unlocks on the error branch but forgets to return, so
+// the read after the join is unguarded whenever the branch ran.
+func (s *S) BranchRelease(fail bool) int {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+	}
+	v := s.n
+	if !fail {
+		s.mu.Unlock()
+	}
+	return v
+}
+
+// LoopRelease unlocks inside the loop body: iteration one reads under
+// the lock, every later iteration does not. Only the back edge sees it.
+func (s *S) LoopRelease(k int) int {
+	total := 0
+	s.mu.Lock()
+	for i := 0; i < k; i++ {
+		total += s.n
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// EarlyReturn releases on the early-out path and returns immediately;
+// the fall-through path still holds the lock at its read. Return paths
+// do not join, so this is clean — pinning the false-positive side of
+// the port.
+func (s *S) EarlyReturn(stop bool) int {
+	s.mu.Lock()
+	if stop {
+		n := s.n
+		s.mu.Unlock()
+		return n
+	}
+	n := s.n * 2
+	s.mu.Unlock()
+	return n
+}

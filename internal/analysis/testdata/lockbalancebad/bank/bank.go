@@ -1,0 +1,85 @@
+// Package bank exercises the lockbalance analyzer: Deposit and
+// Balance release correctly (defer, paired unlock, early return with
+// unlock), EarlyOut returns with the lock still held on the error
+// path, MaybeLock leaks a conditional acquisition, and LockForScan
+// hands the lock off deliberately under //storemlp:locked.
+package bank
+
+import (
+	"errors"
+	"sync"
+)
+
+// Account is a mutex-guarded balance.
+type Account struct {
+	mu  sync.Mutex
+	bal int64
+}
+
+// Deposit holds via defer: balanced on every path.
+func (a *Account) Deposit(v int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bal += v
+}
+
+// Balance pairs Lock/Unlock on the straight line.
+func (a *Account) Balance() int64 {
+	a.mu.Lock()
+	b := a.bal
+	a.mu.Unlock()
+	return b
+}
+
+// Withdraw releases on both the early-out path and the fall-through:
+// balanced, even though no defer is involved.
+func (a *Account) Withdraw(v int64) error {
+	a.mu.Lock()
+	if a.bal < v {
+		a.mu.Unlock()
+		return errors.New("insufficient funds")
+	}
+	a.bal -= v
+	a.mu.Unlock()
+	return nil
+}
+
+// EarlyOut threads an error return past the unlock: the lock is still
+// held on that path.
+func (a *Account) EarlyOut(v int64) error {
+	a.mu.Lock()
+	if v < 0 {
+		return errors.New("negative amount")
+	}
+	a.bal += v
+	a.mu.Unlock()
+	return nil
+}
+
+// MaybeLock acquires on a branch and never releases: every path
+// through the branch leaks.
+func (a *Account) MaybeLock(audit bool) int64 {
+	if audit {
+		a.mu.Lock()
+	}
+	return a.bal
+}
+
+// CondHeld shows the conditional acquire-with-defer idiom: balanced,
+// because the deferred unlock covers the only acquiring path.
+func (a *Account) CondHeld(lock bool) int64 {
+	if lock {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+	}
+	return a.bal
+}
+
+// LockForScan intentionally returns holding the lock; the caller
+// unlocks after iterating.
+//
+//storemlp:locked
+func (a *Account) LockForScan() *int64 {
+	a.mu.Lock()
+	return &a.bal
+}

@@ -1,0 +1,3 @@
+module example.com/lockbalancebad
+
+go 1.21

@@ -1,0 +1,41 @@
+// Package branchy exercises the path-sensitive side of the lockorder
+// analyzer: the X.mu -> Y.mu edge only exists on the branch that pinned
+// x, which the lexical walker forgets at the join. With may-held state
+// flowing through the CFG the edge survives, closing a cycle against
+// the unconditional Y.mu -> X.mu order.
+package branchy
+
+import "sync"
+
+// X is pinned on demand before touching Y.
+type X struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Y is the lock every caller takes.
+type Y struct {
+	mu sync.Mutex
+	n  int
+}
+
+// PinThenBump takes x.mu only when pin is set, then y.mu after the
+// join: on the pin path the acquisition order is X then Y.
+func PinThenBump(x *X, y *Y, pin bool) {
+	if pin {
+		x.mu.Lock()
+		defer x.mu.Unlock()
+	}
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	y.n++
+}
+
+// BumpThenPin takes the same pair in the opposite order on every path.
+func BumpThenPin(x *X, y *Y) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.n++
+}

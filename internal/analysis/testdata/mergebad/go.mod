@@ -1,0 +1,3 @@
+module example.com/mergebad
+
+go 1.21

@@ -1,0 +1,45 @@
+// Package stats exercises the mergecomplete analyzer: the root
+// Stats.Merge forgets its Aborts counter, the nested Hist.Add it
+// delegates to forgets Overflow, the doubly-nested Buckets.Add is
+// complete, and Cfg opts out of merging entirely with
+// //storemlp:nomerge (it is echoed on every shard).
+package stats
+
+// Buckets is the innermost accumulator; Add folds every field.
+type Buckets struct {
+	Counts [4]int64
+	Total  int64
+}
+
+// Add folds o into b.
+func (b *Buckets) Add(o *Buckets) {
+	for i := range b.Counts {
+		b.Counts[i] += o.Counts[i]
+	}
+	b.Total += o.Total
+}
+
+// Hist delegates to Buckets but forgets its own Overflow counter.
+type Hist struct {
+	B        Buckets
+	Overflow int64
+}
+
+// Add folds o into h — except Overflow.
+func (h *Hist) Add(o *Hist) {
+	h.B.Add(&o.B)
+}
+
+// Stats is the root of the merge path.
+type Stats struct {
+	Insts  int64
+	Aborts int64
+	H      Hist
+	Cfg    string //storemlp:nomerge
+}
+
+// Merge folds o into s — except Aborts.
+func (s *Stats) Merge(o *Stats) {
+	s.Insts += o.Insts
+	s.H.Add(&o.H)
+}

@@ -1,0 +1,105 @@
+// Package fan exercises the sharedcapture analyzer: Sum races on a
+// captured accumulator, Last races through a captured struct field,
+// SumLocked and Slots use the sanctioned disciplines (mutex,
+// per-worker slot, per-iteration loop variable), and Handoff declares
+// ownership with //storemlp:owned.
+package fan
+
+import "sync"
+
+// Sum plainly adds into a captured total from every worker: the race
+// the rule exists to catch.
+func Sum(parts [][]int64) int64 {
+	var wg sync.WaitGroup
+	var total int64
+	for _, part := range parts {
+		wg.Add(1)
+		go func(p []int64) {
+			defer wg.Done()
+			for _, v := range p {
+				total += v
+			}
+		}(part)
+	}
+	wg.Wait()
+	return total
+}
+
+// Last writes a captured struct's field from the goroutine.
+func Last(res *struct{ n int }, vals []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, v := range vals {
+			res.n = v
+		}
+	}()
+	wg.Wait()
+}
+
+// SumLocked guards the shared accumulator with a mutex: clean.
+func SumLocked(parts [][]int64) int64 {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var total int64
+	for _, part := range parts {
+		wg.Add(1)
+		go func(p []int64) {
+			defer wg.Done()
+			var local int64
+			for _, v := range p {
+				local += v
+			}
+			mu.Lock()
+			total += local
+			mu.Unlock()
+		}(part)
+	}
+	wg.Wait()
+	return total
+}
+
+// Slots gives each worker its own element, indexed by the worker's
+// parameter: the engine's fan-out/merge idiom, clean.
+func Slots(n int, f func(int) int64) []int64 {
+	results := make([]int64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// LoopVarSlots indexes by the captured per-iteration loop variable
+// (distinct per goroutine since Go 1.22): clean.
+func LoopVarSlots(n int, f func(int) int64) []int64 {
+	results := make([]int64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = f(i)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Handoff writes a captured variable the spawner never touches again;
+// the annotation on the go statement declares the ownership transfer.
+func Handoff(done chan struct{}) *int {
+	v := new(int)
+	//storemlp:owned
+	go func() {
+		*v = 42
+		close(done)
+	}()
+	return v
+}

@@ -1,0 +1,3 @@
+module example.com/sharedcapturebad
+
+go 1.21

@@ -52,8 +52,9 @@ func (g *flightGroup) do(ctx context.Context, key string, exec func(context.Cont
 	g.mu.Unlock()
 
 	go func() {
-		c.res, c.err = exec(execCtx)
+		res, err := exec(execCtx)
 		g.mu.Lock()
+		c.res, c.err = res, err
 		if g.calls[key] == c {
 			delete(g.calls, key)
 		}

@@ -27,27 +27,41 @@ go build -o "$tmpdir/storemlpvet" ./cmd/storemlpvet || {
     exit 3
 }
 
-echo '>> storemlpvet -list (thirteen rules)'
+echo '>> storemlpvet -list (seventeen rules)'
 # The -list smoke proves every analyzer is actually wired into the
 # default suite — a rule dropped from DefaultAnalyzers would otherwise
-# pass the clean-tree check by silently not running.
+# pass the clean-tree check by silently not running. The count check
+# catches the converse drift: a rule added to the suite without being
+# added here.
 vet_rules=$("$tmpdir/storemlpvet" -list)
 echo "$vet_rules"
 for rule in exhaustive-enum validate-coverage stats-drift floatcmp ctxmut \
     resetcomplete guardedby hotpath ctxpoll \
-    lockorder atomicfield goleak digestcover; do
+    lockorder atomicfield goleak digestcover \
+    lockbalance sharedcapture mergecomplete closeall; do
     echo "$vet_rules" | grep -q "^$rule " || {
         echo "storemlpvet: rule $rule missing from -list (not wired into DefaultAnalyzers?)"
         exit 1
     }
 done
+rule_count=$(echo "$vet_rules" | wc -l)
+[ "$rule_count" -eq 17 ] || {
+    echo "storemlpvet: -list reports $rule_count rules, want 17 (update scripts/check.sh when adding rules)"
+    exit 1
+}
 
-echo '>> storemlpvet ./... (-json)'
+echo '>> storemlpvet ./... (-json -timing)'
 # The -json contract is part of the gate: a clean run exits 0 AND emits
 # an empty array. Findings (exit 1) or a load error (exit 2) fail here;
 # hotpath consults go build -gcflags=-m=2, so this also gates the
-# allocation-free/inlining claims of the hot paths.
-vet_out=$("$tmpdir/storemlpvet" -json ./...) && vet_code=0 || vet_code=$?
+# allocation-free/inlining claims of the hot paths. -timing surfaces
+# the per-rule and total vet cost on every run, so a rule that turns
+# quadratic is caught by eye before it is caught by a CI timeout.
+# STOREMLPVET_JSON (set by CI) captures the findings for upload.
+vet_out=$("$tmpdir/storemlpvet" -json -timing ./...) && vet_code=0 || vet_code=$?
+if [ -n "${STOREMLPVET_JSON:-}" ]; then
+    printf '%s\n' "$vet_out" >"$STOREMLPVET_JSON"
+fi
 case $vet_code in
 0) ;;
 1)
