@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet storemlpvet lint bench bench-serve
+.PHONY: build test check vet storemlpvet lint bench bench-serve benchdiff
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,15 @@ bench:
 # via mlpload; writes BENCH_serve.json.
 bench-serve:
 	./scripts/bench.sh
+
+# Perf-regression gate: re-run the full benchmark suite into throwaway
+# files and diff them against the committed baselines with per-metric,
+# direction-aware tolerances (DESIGN.md §17). Exits nonzero on any
+# regression beyond tolerance — run before refreshing the baselines.
+benchdiff:
+	BENCH_ENGINE_OUT=/tmp/BENCH_engine.new.json \
+	BENCH_SERVE_OUT=/tmp/BENCH_serve.new.json \
+		./scripts/bench.sh
+	$(GO) run ./cmd/benchdiff -mode gate \
+		BENCH_engine.json /tmp/BENCH_engine.new.json \
+		BENCH_serve.json /tmp/BENCH_serve.new.json

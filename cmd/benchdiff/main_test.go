@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFlattenPaths(t *testing.T) {
+	m, err := load("testdata/engine_base.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"engine.ns_per_op":                       40000000,
+		"parallel.merge_ns_per_op":               300,
+		"parallel.segments[1].ns_per_op":         22000000,
+		"parallel.segments[1].speedup_vs_serial": 1.8,
+	}
+	for p, v := range want {
+		if got, ok := m[p]; !ok || got != v {
+			t.Errorf("flatten[%q] = %v, %v; want %v, true", p, got, ok, v)
+		}
+	}
+	if _, ok := m["bench"]; ok {
+		t.Error("string leaf should not flatten to a metric")
+	}
+}
+
+func TestRuleDirections(t *testing.T) {
+	cases := []struct {
+		path  string
+		worse float64 // 0 = informational (no rule)
+	}{
+		{"engine.ns_per_op", +1},
+		{"parallel.merge_ns_per_op", +1},
+		{"engine.allocs_per_op", +1},
+		{"engine.insts_per_sec", -1},
+		{"engine.speedup_vs_baseline", -1},
+		{"speedup", -1},
+		{"cold.p99_ms", +1},
+		{"cold.throughput_rps", -1},
+		{"cold.errors", +1},
+		{"engine.tracer_overhead", +1},
+		{"engine.insts_per_op", 0}, // workload size, not a measurement
+		{"parallel.num_cpu", 0},
+		{"grid_points", 0},
+	}
+	for _, c := range cases {
+		r := ruleFor(c.path)
+		switch {
+		case c.worse == 0 && r != nil:
+			t.Errorf("ruleFor(%q) = %+v, want informational", c.path, r)
+		case c.worse != 0 && r == nil:
+			t.Errorf("ruleFor(%q) = nil, want worse=%v", c.path, c.worse)
+		case r != nil && r.worse != c.worse:
+			t.Errorf("ruleFor(%q).worse = %v, want %v", c.path, r.worse, c.worse)
+		}
+	}
+}
+
+// The acceptance fixture: a 20% ns_per_op regression (tolerance 10%)
+// must trip the gate, and the matching throughput/speedup drops ride
+// along. Report mode sees the same findings but exits 0.
+func TestGateOnRegressionFixture(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-mode", "gate", "testdata/engine_base.json", "testdata/engine_regress.json"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("gate mode exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	for _, want := range []string{
+		"REGRESS engine_base.engine.ns_per_op",
+		"REGRESS engine_base.engine.insts_per_sec",
+		"REGRESS engine_base.engine.speedup_vs_baseline",
+		"REGRESS engine_base.parallel.segments[0].ns_per_op",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Within-tolerance drift must stay quiet: merge 300->301,
+	// segments[1] 22.0ms->22.1ms, speedup_vs_serial up.
+	if strings.Contains(out.String(), "segments[1]") {
+		t.Errorf("within-tolerance metric flagged:\n%s", out.String())
+	}
+
+	out.Reset()
+	code = run([]string{"-mode", "report", "testdata/engine_base.json", "testdata/engine_regress.json"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("report mode exit = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "REGRESS") {
+		t.Error("report mode should still print the regressions")
+	}
+}
+
+// The committed baselines compared against themselves are clean — the
+// shape bench.sh emits flows through flatten/diff without findings.
+func TestCleanOnCommittedBaselines(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"../../BENCH_engine.json", "../../BENCH_engine.json",
+		"../../BENCH_serve.json", "../../BENCH_serve.json",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if strings.Contains(out.String(), "REGRESS") || strings.Contains(out.String(), "NOTE") {
+		t.Errorf("self-diff should be silent:\n%s", out.String())
+	}
+}
+
+func TestSlackWidensTolerance(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-slack", "3", "testdata/engine_base.json", "testdata/engine_regress.json"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("slack 3 exit = %d, want 0 (20%% drift under 30%% tolerance)\n%s", code, out.String())
+	}
+}
+
+func TestZeroBaselineErrorsGate(t *testing.T) {
+	base := map[string]float64{"cold.errors": 0}
+	fresh := map[string]float64{"cold.errors": 1}
+	var out bytes.Buffer
+	if regs := diff(base, fresh, 1, false, "serve", &out); len(regs) != 1 {
+		t.Fatalf("errors 0->1 findings = %d, want 1\n%s", len(regs), out.String())
+	}
+}
+
+func TestMissingMetricNotesButPasses(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"testdata/serve_base.json", "testdata/engine_base.json"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("disjoint files exit = %d, want 0 (missing metrics never gate)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "metric missing from fresh run") ||
+		!strings.Contains(out.String(), "new metric (no baseline)") {
+		t.Errorf("expected missing/new metric notes:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Errorf("no args exit = %d, want 2", code)
+	}
+	if code := run([]string{"only-one.json"}, &out, &errw); code != 2 {
+		t.Errorf("odd file count exit = %d, want 2", code)
+	}
+	if code := run([]string{"-mode", "panic", "a.json", "b.json"}, &out, &errw); code != 2 {
+		t.Errorf("bad mode exit = %d, want 2", code)
+	}
+	if code := run([]string{"testdata/nope.json", "testdata/engine_base.json"}, &out, &errw); code != 2 {
+		t.Errorf("missing file exit = %d, want 2", code)
+	}
+}

@@ -11,16 +11,20 @@
 // repeated sweeps. Per-request latencies stream into a fixed-bucket
 // histogram (internal/obs) from which the reported p50/p95/p99 are
 // estimated; -json writes the measurements as a benchmark record
-// (scripts/bench.sh stores it as BENCH_serve.json). -scrape
-// additionally validates the daemon's /metrics output against the
-// Prometheus text exposition grammar and checks the /debug/obs/trace
-// export.
+// (scripts/bench.sh stores it as BENCH_serve.json), including a
+// per-phase stage breakdown (parse / cache_probe / pool_wait /
+// simulate / ...) derived from the daemon's mlpsimd_stage_seconds
+// histogram deltas around each phase. -scrape additionally validates
+// the daemon's /metrics output against the Prometheus text exposition
+// grammar and checks the /debug/obs/trace export; -slow-out saves the
+// daemon's /debug/obs/slow listing (the slowest requests with their
+// per-stage timings) as a post-run artifact.
 //
 // Examples:
 //
 //	mlpload -addr http://127.0.0.1:7743
 //	mlpload -addr http://127.0.0.1:7743 -repeat 5 -concurrency 16 -json BENCH_serve.json
-//	mlpload -addr http://127.0.0.1:7743 -mode warm -scrape
+//	mlpload -addr http://127.0.0.1:7743 -mode warm -scrape -slow-out slow.json
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -94,6 +99,106 @@ type phaseStats struct {
 	// Segments is the largest per-run segment fan-out the server
 	// reported for this phase (1 = every run executed serially).
 	Segments int `json:"segments,omitempty"`
+	// Stages decomposes the phase's server-side time by pipeline stage
+	// (parse, cache_probe, pool_wait, simulate, ...), derived from the
+	// daemon's mlpsimd_stage_seconds histogram deltas around the phase.
+	// Absent when the server predates stage metrics or has span tracing
+	// disabled.
+	Stages map[string]stageAgg `json:"stages,omitempty"`
+}
+
+// stageAgg aggregates one pipeline stage over a phase.
+type stageAgg struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
+// stageSample is one histogram's cumulative state at scrape time.
+type stageSample struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+}
+
+// stageCounts maps stage name -> cumulative histogram state.
+type stageCounts map[string]stageSample
+
+// scrapeStages reads the per-stage latency histograms out of the
+// daemon's /debug/obs/vars JSON view.
+func scrapeStages(ctx context.Context, client *http.Client, base string) (stageCounts, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/obs/vars", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/obs/vars: status %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return nil, err
+	}
+	const prefix = `mlpsimd_stage_seconds{stage="`
+	out := make(stageCounts)
+	for key, raw := range vars {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		stage := strings.TrimSuffix(strings.TrimPrefix(key, prefix), `"}`)
+		var h stageSample
+		if err := json.Unmarshal(raw, &h); err != nil {
+			return nil, fmt.Errorf("%s: %w", key, err)
+		}
+		out[stage] = h
+	}
+	return out, nil
+}
+
+// stageDelta converts a before/after scrape pair into the phase's
+// stage breakdown, dropping stages that saw no traffic. A nil result
+// means the server exposes no stage histograms at all.
+func stageDelta(before, after stageCounts) map[string]stageAgg {
+	out := make(map[string]stageAgg)
+	for name, a := range after {
+		b := before[name] // zero value when the stage first appeared mid-phase
+		n := a.Count - b.Count
+		if n <= 0 {
+			continue
+		}
+		total := (a.Sum - b.Sum) * 1000
+		out[name] = stageAgg{Count: n, TotalMS: total, MeanMS: total / float64(n)}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// formatStages renders the breakdown biggest-first for the phase line.
+func formatStages(stages map[string]stageAgg) string {
+	names := make([]string, 0, len(stages))
+	for n := range stages {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := stages[names[i]], stages[names[j]]
+		if a.TotalMS > b.TotalMS {
+			return true
+		}
+		if a.TotalMS < b.TotalMS {
+			return false
+		}
+		return names[i] < names[j]
+	})
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%.1fms", n, stages[n].TotalMS)
+	}
+	return strings.Join(parts, " ")
 }
 
 // benchRecord is the -json output shape.
@@ -221,6 +326,29 @@ func post(ctx context.Context, client *http.Client, url string, body []byte) (*s
 	return &rr, nil
 }
 
+// fetchSlow saves the daemon's slowest-request listing — the post-run
+// artifact that explains WHERE the tail latency went, request by
+// request, stage by stage.
+func fetchSlow(ctx context.Context, client *http.Client, base, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/obs/slow", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("GET /debug/obs/slow: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/obs/slow: status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
 // scrapeCheck validates the daemon's observability surface after the
 // load phases: /metrics must parse cleanly under the Prometheus text
 // exposition grammar and /debug/obs/trace must serve valid Chrome
@@ -277,6 +405,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		parallel    = fs.Int("parallel", 0, "segment count forwarded on every request (0 = let the server default decide)")
 		reqTimeout  = fs.Duration("timeout", 5*time.Minute, "per-request timeout")
 		scrape      = fs.Bool("scrape", false, "after the load phases, validate /metrics against the exposition grammar and the /debug/obs/trace export")
+		slowOut     = fs.String("slow-out", "", "after the load phases, write the daemon's /debug/obs/slow JSON (slowest requests with stage breakdowns) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -323,6 +452,35 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "grid: %d points (%s), %d passes, concurrency %d\n",
 		len(base), strings.Join(workloads, ","), *repeat, *concurrency)
 
+	baseURL := strings.TrimRight(*addr, "/")
+	// timedPhase brackets a measured phase with /debug/obs/vars scrapes
+	// so the stage histogram deltas attribute the phase's server-side
+	// time: parse vs cache probe vs queue wait vs simulation. A server
+	// without stage metrics degrades to a one-time warning, never a
+	// failed load run.
+	stageWarned := false
+	timedPhase := func(reqs []server.RunRequest) (phaseStats, error) {
+		before, errBefore := scrapeStages(ctx, client, baseURL)
+		st, err := firePhase(ctx, client, url, reqs, *concurrency)
+		if err != nil {
+			return st, err
+		}
+		after, errAfter := scrapeStages(ctx, client, baseURL)
+		if errBefore != nil || errAfter != nil {
+			if !stageWarned {
+				stageWarned = true
+				scrapeErr := errBefore
+				if scrapeErr == nil {
+					scrapeErr = errAfter
+				}
+				fmt.Fprintf(stdout, "warning: stage breakdown unavailable: %v\n", scrapeErr)
+			}
+			return st, nil
+		}
+		st.Stages = stageDelta(before, after)
+		return st, nil
+	}
+
 	repeated := func(nocache bool) []server.RunRequest {
 		var reqs []server.RunRequest
 		for pass := 0; pass < *repeat; pass++ {
@@ -335,13 +493,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	if *mode == "cold" || *mode == "both" {
-		st, err := firePhase(ctx, client, url, repeated(true), *concurrency)
+		st, err := timedPhase(repeated(true))
 		if err != nil {
 			return fmt.Errorf("cold phase: %w", err)
 		}
 		rec.Cold = st
 		fmt.Fprintf(stdout, "cold: %d reqs in %.2fs  %.1f req/s  p50=%.1fms p95=%.1fms p99=%.1fms  segments=%d\n",
 			st.Requests, st.ElapsedS, st.Throughput, st.P50MS, st.P95MS, st.P99MS, st.Segments)
+		if len(st.Stages) > 0 {
+			fmt.Fprintf(stdout, "cold stages: %s\n", formatStages(st.Stages))
+		}
 	}
 
 	if *mode == "warm" || *mode == "both" {
@@ -350,13 +511,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if _, err := firePhase(ctx, client, url, base, *concurrency); err != nil {
 			return fmt.Errorf("warm priming: %w", err)
 		}
-		st, err := firePhase(ctx, client, url, repeated(false), *concurrency)
+		st, err := timedPhase(repeated(false))
 		if err != nil {
 			return fmt.Errorf("warm phase: %w", err)
 		}
 		rec.WarmPhase = st
 		fmt.Fprintf(stdout, "warm: %d reqs in %.2fs  %.1f req/s  p50=%.1fms p95=%.1fms p99=%.1fms  segments=%d  (%d cached, %d coalesced)\n",
 			st.Requests, st.ElapsedS, st.Throughput, st.P50MS, st.P95MS, st.P99MS, st.Segments, st.Cached, st.Coalesced)
+		if len(st.Stages) > 0 {
+			fmt.Fprintf(stdout, "warm stages: %s\n", formatStages(st.Stages))
+		}
 	}
 
 	if rec.Cold.Throughput > 0 && rec.WarmPhase.Throughput > 0 {
@@ -366,9 +530,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	if *scrape {
 		wantTraffic := rec.Cold.Requests+rec.WarmPhase.Requests > 0
-		if err := scrapeCheck(ctx, client, strings.TrimRight(*addr, "/"), wantTraffic, stdout); err != nil {
+		if err := scrapeCheck(ctx, client, baseURL, wantTraffic, stdout); err != nil {
 			return err
 		}
+	}
+
+	if *slowOut != "" {
+		if err := fetchSlow(ctx, client, baseURL, *slowOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *slowOut)
 	}
 
 	if *jsonPath != "" {

@@ -14,6 +14,13 @@
 //	GET  /debug/obs/trace run tracer as Chrome trace_event JSON
 //	GET  /debug/obs/runs  live engine progress snapshots
 //	GET  /debug/obs/vars  the metrics registry as JSON
+//	GET  /debug/obs/slow  slowest requests with per-stage timings
+//	GET  /debug/obs/req   one request's span tree as Chrome trace JSON (?id=<trace_id>)
+//
+// Every non-probe request gets a span tree (X-Trace-Id response
+// header, trace_id on the completion log line); the slowest are
+// retained in a bounded ring sized by -slow for post-hoc latency
+// attribution. README "Explaining a slow request" walks the flow.
 //
 // Examples:
 //
@@ -21,6 +28,7 @@
 //	mlpsimd -addr 127.0.0.1:0 -workers 8 -cache 1024 -log json
 //	mlpsimd -addr :7743 -trace-out run.trace.json
 //	curl -s localhost:7743/v1/run -d '{"workload":"tpcw","insts":500000}'
+//	curl -s localhost:7743/debug/obs/slow | head
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the listener closes, in-
 // flight requests drain (bounded by -drain), then remaining simulations
@@ -75,6 +83,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		trcCap   = fs.Int("trace-events", 0, "run-tracer ring capacity (0 = default 16384, negative disables tracing)")
 		trcOut   = fs.String("trace-out", "", "write the tracer's Chrome trace_event JSON to this file on graceful shutdown")
 		parallel = fs.Int("parallel", 1, "segments per simulation when a request carries no parallel field (0 = one per CPU core, 1 = serial)")
+		slowN    = fs.Int("slow", 0, "slowest-request ring size behind /debug/obs/slow (0 = default 32, negative disables request span tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +118,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Logger:          log,
 		TraceEvents:     *trcCap,
 		DefaultParallel: *parallel,
+		SlowRequests:    *slowN,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -78,7 +78,18 @@ type Config struct {
 	// knob is digest-visible, a daemon restarted with a different
 	// default serves from a disjoint cache-key space.
 	DefaultParallel int
+	// SlowRequests sizes the slowest-N request ring behind
+	// /debug/obs/slow and /debug/obs/req (default 32; <0 disables
+	// request-scoped span tracing entirely — probe-grade overhead for
+	// every request, and the debug endpoints serve empty/404).
+	SlowRequests int
 }
+
+// reqSpanCap bounds the span arena of one request trace. A /v1/run
+// request records ~10 spans; a sweep records a handful per point, so
+// very large sweeps drop excess spans (counted in the trace's dropped
+// field) rather than growing the arena.
+const reqSpanCap = 512
 
 // Server is the mlpsimd service core. Create with New, mount Handler
 // into an http.Server, and Close when the HTTP server has shut down.
@@ -104,10 +115,12 @@ type Server struct {
 	tracer *obs.Tracer
 	board  *obs.Board
 	sinks  *obs.Obs
-	pool   *sim.Pool // behind the default runner; nil with a custom Runner
+	slow   *obs.SlowRing // nil when span tracing is disabled
+	pool   *sim.Pool     // behind the default runner; nil with a custom Runner
 
 	mReqs         map[string]map[string]*Counter // endpoint -> class -> counter
 	mLatency      map[string]*Histogram
+	mStage        []*Histogram // indexed by obs.Stage; nil at StageRequest
 	mCacheHits    *Counter
 	mCacheMisses  *Counter
 	mCacheEvicted *Counter
@@ -188,6 +201,9 @@ func New(cfg Config) *Server {
 	if cfg.TraceEvents == 0 {
 		cfg.TraceEvents = 16384
 	}
+	if cfg.SlowRequests == 0 {
+		cfg.SlowRequests = 32
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
@@ -201,6 +217,7 @@ func New(cfg Config) *Server {
 		Metrics: NewMetrics(),
 		tracer:  obs.NewTracer(cfg.TraceEvents), // nil when TraceEvents < 0
 		board:   obs.NewBoard(),
+		slow:    obs.NewSlowRing(cfg.SlowRequests), // nil when SlowRequests < 0
 		pool:    pool,
 	}
 	s.sinks = &obs.Obs{Tracer: s.tracer, Board: s.board}
@@ -225,6 +242,19 @@ func (s *Server) registerMetrics() {
 		s.mReqs[ep] = byClass
 		s.mLatency[ep] = m.Histogram("mlpsimd_request_seconds",
 			"Request latency in seconds.", DefBuckets, "endpoint", ep)
+	}
+	// Per-stage decomposition of request latency: each request's span
+	// tree feeds one observation per span, so mlpsimd_request_seconds
+	// splits into queue wait vs cache state vs simulation.
+	stages := obs.Stages()
+	s.mStage = make([]*Histogram, len(stages))
+	for _, st := range stages {
+		if st == obs.StageRequest {
+			continue // the root span IS mlpsimd_request_seconds
+		}
+		s.mStage[st] = m.Histogram("mlpsimd_stage_seconds",
+			"Request latency decomposed by pipeline stage (one observation per request span).",
+			DefBuckets, "stage", st.String())
 	}
 	s.mCacheHits = m.Counter("mlpsimd_cache_hits_total", "Result-cache hits.")
 	s.mCacheMisses = m.Counter("mlpsimd_cache_misses_total", "Result-cache misses.")
@@ -262,11 +292,12 @@ func (s *Server) registerMetrics() {
 		"max_insts", strconv.FormatInt(s.cfg.MaxInsts, 10),
 		"trace_events", strconv.Itoa(s.cfg.TraceEvents),
 		"default_parallel", strconv.Itoa(s.cfg.DefaultParallel),
+		"slow_requests", strconv.Itoa(s.cfg.SlowRequests),
 		"digest", digest.Sum(struct {
-			Workers, CacheEntries, TraceEvents, DefaultParallel int
-			MaxInsts, DefaultTimeoutMS                          int64
+			Workers, CacheEntries, TraceEvents, DefaultParallel, SlowRequests int
+			MaxInsts, DefaultTimeoutMS                                        int64
 		}{s.cfg.Workers, s.cfg.CacheEntries, s.cfg.TraceEvents, s.cfg.DefaultParallel,
-			s.cfg.MaxInsts, s.cfg.DefaultTimeout.Milliseconds()}))
+			s.cfg.SlowRequests, s.cfg.MaxInsts, s.cfg.DefaultTimeout.Milliseconds()}))
 	m.OnScrape(func() {
 		s.mUptime.Set(int64(time.Since(s.start).Seconds()))
 		if s.cache != nil {
@@ -550,12 +581,19 @@ func (s *Server) resolve(req RunRequest) (sim.Spec, string, error) {
 // (queue-depth gauge), runs the engine (in-flight gauge), and converts
 // the stats.
 func (s *Server) execute(ctx context.Context, spec sim.Spec) (*RunResult, error) {
+	// The worker-slot wait is the serving layer's queueing delay: under
+	// saturation a request's latency is dominated here, so it gets its
+	// own span (arg = queue depth observed on entry).
+	rt, parent := obs.SpanFrom(ctx)
+	wait := rt.StartSpan(obs.StagePoolWait, parent)
 	s.mQueueDepth.Add(1)
 	select {
 	case s.slots <- struct{}{}:
 		s.mQueueDepth.Add(-1)
+		rt.EndSpan(wait, s.mQueueDepth.Value())
 	case <-ctx.Done():
 		s.mQueueDepth.Add(-1)
+		rt.EndSpan(wait, -1)
 		return nil, ctx.Err()
 	}
 	defer func() { <-s.slots }()
@@ -601,7 +639,10 @@ func (s *Server) execute(ctx context.Context, spec sim.Spec) (*RunResult, error)
 // cache -> coalesce -> pool -> engine.
 func (s *Server) servePoint(ctx context.Context, req RunRequest) (RunResponse, error) {
 	start := time.Now()
+	rt, parent := obs.SpanFrom(ctx)
+	sp := rt.StartSpan(obs.StageDigest, parent)
 	spec, key, err := s.resolve(req)
+	rt.EndSpan(sp, 0)
 	if err != nil {
 		return RunResponse{}, err
 	}
@@ -627,7 +668,10 @@ func (s *Server) servePoint(ctx context.Context, req RunRequest) (RunResponse, e
 	}
 
 	if s.cache != nil {
-		if res, ok := s.cache.get(key); ok {
+		sp = rt.StartSpan(obs.StageCacheProbe, parent)
+		res, ok := s.cache.get(key)
+		if ok {
+			rt.EndSpan(sp, 1)
 			s.mCacheHits.Inc()
 			rs.hits.Add(1)
 			resp.Cached = true
@@ -635,10 +679,17 @@ func (s *Server) servePoint(ctx context.Context, req RunRequest) (RunResponse, e
 			resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 			return resp, nil
 		}
+		rt.EndSpan(sp, 0)
 		s.mCacheMisses.Inc()
 	}
 
 	res, shared, err := s.flights.do(ctx, key, func(execCtx context.Context) (*RunResult, error) {
+		// The leader executes on a context derived from the server's
+		// lifetime, not its own request — re-attach the leader's span
+		// context so the execution's pool-wait/segment/merge spans land
+		// on the leader's trace. Followers only record a coalesce-wait
+		// span (see flightGroup.do): the work was never theirs.
+		execCtx = obs.WithSpan(execCtx, rt, parent)
 		r, err := s.execute(execCtx, spec)
 		if err != nil {
 			return nil, err
@@ -676,6 +727,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /debug/obs/trace", s.tracer.Handler())
 	mux.Handle("GET /debug/obs/runs", s.board.Handler())
 	mux.Handle("GET /debug/obs/vars", s.Metrics.JSONHandler())
+	mux.Handle("GET /debug/obs/slow", s.slow.Handler())
+	mux.Handle("GET /debug/obs/req", s.slow.ReqHandler())
 	return s.instrument(mux)
 }
 
@@ -731,8 +784,12 @@ type reqStats struct {
 
 // state renders the cache interaction: the bare class for the common
 // single-point request, "hit=3,miss=1"-style tallies for sweeps, and
-// "none" when no point reached the cache (errors, probes).
+// "none" when no point reached the cache (errors, and probes — which
+// skip the sink entirely, hence the nil receiver).
 func (c *reqStats) state() string {
+	if c == nil {
+		return "none"
+	}
 	counts := [...]struct {
 		name string
 		n    int64
@@ -773,28 +830,53 @@ func outcomeOf(status int) string {
 	return "ok"
 }
 
+// probeEndpoint reports whether ep is scrape/probe noise (health
+// checks, metric scrapes, debug views): those requests skip the
+// request-stats sink and the span tree entirely — no context values, no
+// trace arena, zero registry churn — and log at debug level.
+func probeEndpoint(ep string) bool {
+	return ep == "healthz" || ep == "metrics" || ep == "debug"
+}
+
 // instrument wraps the mux with request IDs, structured logs, latency
 // histograms and request counters. Each request logs exactly one
 // completion line carrying its ID, duration, cache state and outcome.
+// Non-probe requests additionally get a request-scoped span tree
+// (X-Trace-Id echoes the trace ID, trace_id lands on the log line); on
+// completion the tree feeds the per-stage histograms and the slowest-N
+// ring behind /debug/obs/slow.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := fmt.Sprintf("%06x-%04d", start.UnixNano()&0xffffff, s.reqSeq.Add(1)%10000)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		sw.Header().Set("X-Request-Id", id)
-		rs := &reqStats{}
-		ctx := withReqStats(withRequestID(r.Context(), id), rs)
-		next.ServeHTTP(sw, r.WithContext(ctx))
-		dur := time.Since(start)
 		ep := endpointOf(r.URL.Path)
+		var rs *reqStats
+		var rt *obs.ReqTrace
+		if !probeEndpoint(ep) {
+			rs = &reqStats{}
+			ctx := withReqStats(withRequestID(r.Context(), id), rs)
+			if s.slow != nil {
+				rt = obs.NewReqTrace(id, reqSpanCap)
+				ctx = obs.WithSpan(ctx, rt, rt.Root())
+				sw.Header().Set("X-Trace-Id", id)
+			}
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
 		if byClass, ok := s.mReqs[ep]; ok {
 			byClass[classOf(sw.status)].Inc()
 		}
 		if h, ok := s.mLatency[ep]; ok {
 			h.Observe(dur.Seconds())
 		}
+		rt.Finish(r.Method+" "+r.URL.Path, sw.status)
+		s.observeStages(rt)
+		s.slow.Add(rt)
 		level := slog.LevelInfo
-		if ep == "healthz" || ep == "metrics" || ep == "debug" {
+		if probeEndpoint(ep) {
 			level = slog.LevelDebug // probe noise
 		}
 		s.log.LogAttrs(r.Context(), level, "request",
@@ -805,8 +887,27 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			slog.Duration("dur", dur),
 			slog.String("cache", rs.state()),
 			slog.String("outcome", outcomeOf(sw.status)),
+			slog.String("trace_id", rt.ID()),
 		)
 	})
+}
+
+// observeStages feeds one finished request trace into the per-stage
+// latency histograms: every closed non-root span contributes its
+// duration to mlpsimd_stage_seconds{stage=...}, so the request
+// histogram decomposes into queue wait vs cache state vs simulation.
+func (s *Server) observeStages(rt *obs.ReqTrace) {
+	if rt == nil {
+		return
+	}
+	for _, sp := range rt.Snapshot() {
+		if sp.Stage == obs.StageRequest || sp.End == 0 {
+			continue // the root IS mlpsimd_request_seconds; open spans have no duration
+		}
+		if h := s.mStage[sp.Stage]; h != nil {
+			h.Observe(float64(sp.End-sp.Start) / 1e9)
+		}
+	}
 }
 
 type ctxKey int
@@ -875,8 +976,12 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	rt, parent := obs.SpanFrom(r.Context())
 	var req RunRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	sp := rt.StartSpan(obs.StageParse, parent)
+	err := json.NewDecoder(r.Body).Decode(&req)
+	rt.EndSpan(sp, 0)
+	if err != nil {
 		s.fail(w, r, badRequest("decoding request: %v", err))
 		return
 	}
@@ -886,7 +991,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	renderStart := obs.Now()
+	sp = rt.StartSpan(obs.StageRender, parent)
 	writeJSON(w, http.StatusOK, resp)
+	rt.EndSpan(sp, 1)
 	s.tracer.Complete(obs.EvRender, 0, renderStart, 1)
 }
 
@@ -895,8 +1002,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 const maxSweepPoints = 4096
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	rt, parent := obs.SpanFrom(r.Context())
 	var req SweepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	sp := rt.StartSpan(obs.StageParse, parent)
+	err := json.NewDecoder(r.Body).Decode(&req)
+	rt.EndSpan(sp, 0)
+	if err != nil {
 		s.fail(w, r, badRequest("decoding request: %v", err))
 		return
 	}
@@ -936,7 +1047,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	renderStart := obs.Now()
+	sp = rt.StartSpan(obs.StageRender, parent)
 	writeJSON(w, http.StatusOK, resp)
+	rt.EndSpan(sp, int64(len(resp.Points)))
 	s.tracer.Complete(obs.EvRender, 0, renderStart, int64(len(resp.Points)))
 }
 

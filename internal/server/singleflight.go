@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"sync"
+
+	"storemlp/internal/obs"
 )
 
 // flightGroup coalesces concurrent executions of the same digest: the
@@ -43,7 +45,14 @@ func (g *flightGroup) do(ctx context.Context, key string, exec func(context.Cont
 	if c, ok := g.calls[key]; ok {
 		c.waiters++
 		g.mu.Unlock()
+		// A follower's whole pipeline is this wait: the execution spans
+		// belong to the leader's trace (servePoint re-attaches the
+		// leader's span context to execCtx), so the follower records only
+		// how long it was parked on someone else's simulation.
+		rt, parent := obs.SpanFrom(ctx)
+		sp := rt.StartSpan(obs.StageCoalesceWait, parent)
 		res, err = g.wait(ctx, key, c)
+		rt.EndSpan(sp, 0)
 		return res, true, err
 	}
 	execCtx, cancel := context.WithCancel(g.base)

@@ -183,7 +183,7 @@ func (p *Pool) runParallel(ctx context.Context, s Spec, overlap, parseStart int6
 			o.Tracer.Complete(obs.EvParse, run, parseStart, s.Warm+s.Insts)
 		}
 	}
-	return fanOutMerge(o, run, len(segs), func(i int) (*epoch.Stats, error) {
+	return fanOutMerge(ctx, o, run, len(segs), func(i int) (*epoch.Stats, error) {
 		return p.runSegment(ctx, s, segs[i], o, run, i, len(segs))
 	})
 }
@@ -197,6 +197,9 @@ func (p *Pool) runSegment(ctx context.Context, s Spec, sg segment, o *obs.Obs, r
 	if o != nil && o.Tracer != nil {
 		segStart = obs.Now()
 	}
+	rt, parent := obs.SpanFrom(ctx)
+	seg := rt.StartSpan(obs.StageSegment, parent)
+	defer func() { rt.EndSpan(seg, int64(i)) }()
 	cfg := s.Uarch
 	cfg.WarmInsts = sg.meas - sg.start
 	opts, err := segmentOptions(ctx, s, sg.start)
@@ -227,7 +230,9 @@ func (p *Pool) runSegment(ctx context.Context, s Spec, sg segment, o *obs.Obs, r
 	}
 	label := fmt.Sprintf("%s [seg %d/%d]", runLabel(s), i+1, k)
 	release := observeFrom(o, e, label, feedEnd-sg.start, 0)
+	sim := rt.StartSpan(obs.StageSimulate, seg)
 	st, err := e.RunContext(ctx, src)
+	rt.EndSpan(sim, sg.end-sg.meas)
 	release()
 	if err != nil {
 		return nil, err
@@ -265,7 +270,7 @@ func (p *Pool) RunTraceParallel(ctx context.Context, data []byte, cfg uarch.Conf
 		run = o.Tracer.NewRun()
 		o.Tracer.Complete(obs.EvParse, run, parseStart, total)
 	}
-	return fanOutMerge(o, run, len(segs), func(i int) (*epoch.Stats, error) {
+	return fanOutMerge(ctx, o, run, len(segs), func(i int) (*epoch.Stats, error) {
 		return p.runTraceSegment(ctx, data, cfg, segs[i], o, run, i, len(segs))
 	})
 }
@@ -277,6 +282,9 @@ func (p *Pool) runTraceSegment(ctx context.Context, data []byte, cfg uarch.Confi
 	if o != nil && o.Tracer != nil {
 		segStart = obs.Now()
 	}
+	rt, parent := obs.SpanFrom(ctx)
+	seg := rt.StartSpan(obs.StageSegment, parent)
+	defer func() { rt.EndSpan(seg, int64(i)) }()
 	r, err := colv1.NewBytesReader(data)
 	if err != nil {
 		return nil, err
@@ -326,8 +334,10 @@ func (p *Pool) runTraceSegment(ctx context.Context, data []byte, cfg uarch.Confi
 // them, and merges their Stats in segment order (Merge is associative
 // and commutative over every counter, but a fixed order keeps the
 // result deterministic bit for bit). The first error by segment index
-// wins; a cancelled context surfaces as every worker's error.
-func fanOutMerge(o *obs.Obs, run uint32, n int, f func(i int) (*epoch.Stats, error)) (*epoch.Stats, error) {
+// wins; a cancelled context surfaces as every worker's error. When ctx
+// carries a request span (obs.WithSpan), the merge records a
+// StageMerge span on it; the workers record their own segment spans.
+func fanOutMerge(ctx context.Context, o *obs.Obs, run uint32, n int, f func(i int) (*epoch.Stats, error)) (*epoch.Stats, error) {
 	results := make([]*epoch.Stats, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -345,10 +355,13 @@ func fanOutMerge(o *obs.Obs, run uint32, n int, f func(i int) (*epoch.Stats, err
 		}
 	}
 	mergeStart := obs.Now()
+	rt, parent := obs.SpanFrom(ctx)
+	msp := rt.StartSpan(obs.StageMerge, parent)
 	merged := results[0]
 	for _, st := range results[1:] {
 		merged.Merge(st)
 	}
+	rt.EndSpan(msp, int64(n))
 	if o != nil && o.Tracer != nil {
 		o.Tracer.Complete(obs.EvMerge, run, mergeStart, int64(n))
 	}

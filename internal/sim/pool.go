@@ -79,7 +79,10 @@ func (p *Pool) RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
 	}
 	src := BuildSource(s.Workload, cfg, s.Warm+s.Insts)
 	release := observeFrom(obs.FromContext(ctx), e, runLabel(s), s.Warm+s.Insts, parseStart)
+	rt, parent := obs.SpanFrom(ctx)
+	sp := rt.StartSpan(obs.StageSimulate, parent)
 	st, err := e.RunContext(ctx, src)
+	rt.EndSpan(sp, s.Insts)
 	release()
 	if err != nil {
 		return nil, err

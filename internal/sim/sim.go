@@ -151,6 +151,9 @@ func RunContext(ctx context.Context, s Spec) (*epoch.Stats, error) {
 	src := BuildSource(s.Workload, cfg, s.Warm+s.Insts)
 	release := observeFrom(obs.FromContext(ctx), eng, runLabel(s), s.Warm+s.Insts, parseStart)
 	defer release()
+	rt, parent := obs.SpanFrom(ctx)
+	sp := rt.StartSpan(obs.StageSimulate, parent)
+	defer rt.EndSpan(sp, s.Insts)
 	return eng.RunContext(ctx, src)
 }
 

@@ -23,9 +23,15 @@
 # Usage: scripts/bench.sh [extra mlpload flags]
 #   e.g. scripts/bench.sh -repeat 5 -concurrency 16
 #   BENCH_ONLY=engine scripts/bench.sh   # stage 1 only (skip the daemon)
+#   BENCH_ENGINE_OUT / BENCH_SERVE_OUT override the output paths (used
+#   by check.sh to write throwaway smoke records for cmd/benchdiff
+#   instead of clobbering the committed baselines).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+BENCH_ENGINE_OUT=${BENCH_ENGINE_OUT:-BENCH_engine.json}
+BENCH_SERVE_OUT=${BENCH_SERVE_OUT:-BENCH_serve.json}
 
 tmpdir=$(mktemp -d)
 bench_cleanup() {
@@ -34,13 +40,6 @@ bench_cleanup() {
 }
 trap bench_cleanup EXIT
 
-# Pre-optimization engine baseline (map-based epoch records, per-inst
-# Next() trace pull), measured on the same 500k-instruction benchmark.
-# The trace codec needs no pinned constant: the legacy decoder still
-# exists, so it is measured live as the columnar decoder's baseline.
-ENGINE_BASE_NS=80420000
-ENGINE_BASE_ALLOCS=10349
-
 echo '>> engine microbenchmarks (best of '"${BENCH_COUNT:-3}"')'
 go test -run '^$' \
     -bench '^(BenchmarkEngine|BenchmarkEngineTraced|BenchmarkEngineTraceDriven|BenchmarkEngineParallel|BenchmarkStatsMerge|BenchmarkTraceDecodeLegacy|BenchmarkTraceDecodeColumnar)$' \
@@ -48,55 +47,13 @@ go test -run '^$' \
 
 NUM_CPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
-awk -v eng_base_ns="$ENGINE_BASE_NS" -v eng_base_allocs="$ENGINE_BASE_ALLOCS" -v num_cpu="$NUM_CPU" '
-$1 ~ /^BenchmarkEngine(-[0-9]+)?$/                { if (eng_ns == 0 || $3 < eng_ns) { eng_ns = $3; eng_allocs = $(NF-1) } }
-$1 ~ /^BenchmarkEngineTraced(-[0-9]+)?$/          { if (trc_ns == 0 || $3 < trc_ns) { trc_ns = $3; trc_allocs = $(NF-1) } }
-$1 ~ /^BenchmarkEngineTraceDriven(-[0-9]+)?$/     { if (td_ns == 0  || $3 < td_ns)  { td_ns = $3;  td_allocs = $(NF-1) } }
-$1 ~ /^BenchmarkTraceDecodeLegacy(-[0-9]+)?$/     { if (leg_ns == 0 || $3 < leg_ns) { leg_ns = $3; leg_allocs = $(NF-1) } }
-$1 ~ /^BenchmarkTraceDecodeColumnar(-[0-9]+)?$/   { if (col_ns == 0 || $3 < col_ns) { col_ns = $3; col_allocs = $(NF-1) } }
-$1 ~ /^BenchmarkEngineParallel\/k=[0-9]+(-[0-9]+)?$/ {
-    k = $1; sub(/^BenchmarkEngineParallel\/k=/, "", k); sub(/-[0-9]+$/, "", k)
-    if (!(k in par_ns)) { par_ks[++par_n] = k }
-    if (par_ns[k] == 0 || $3 < par_ns[k]) { par_ns[k] = $3 }
-}
-$1 ~ /^BenchmarkStatsMerge(-[0-9]+)?$/            { if (mrg_ns == 0 || $3 < mrg_ns) { mrg_ns = $3 } }
-END {
-    if (eng_ns == 0 || trc_ns == 0 || td_ns == 0 || leg_ns == 0 || col_ns == 0 || par_n == 0 || mrg_ns == 0 || par_ns[1] == 0) {
-        print "bench parse failure" > "/dev/stderr"; exit 1
-    }
-    eng_insts = 500000; cod_insts = 200000
-    printf "{\n"
-    printf "  \"engine\": {\n"
-    printf "    \"ns_per_op\": %d,\n    \"insts_per_op\": %d,\n", eng_ns, eng_insts
-    printf "    \"insts_per_sec\": %.0f,\n    \"allocs_per_op\": %d,\n", eng_insts * 1e9 / eng_ns, eng_allocs
-    printf "    \"baseline_ns_per_op\": %d,\n    \"baseline_insts_per_sec\": %.0f,\n", eng_base_ns, eng_insts * 1e9 / eng_base_ns
-    printf "    \"baseline_allocs_per_op\": %d,\n", eng_base_allocs
-    printf "    \"speedup_vs_baseline\": %.3f,\n", eng_base_ns / eng_ns
-    printf "    \"traced_ns_per_op\": %d,\n    \"traced_allocs_per_op\": %d,\n", trc_ns, trc_allocs
-    printf "    \"tracer_overhead\": %.4f,\n", trc_ns / eng_ns - 1
-    printf "    \"trace_driven_ns_per_op\": %d,\n    \"trace_driven_allocs_per_op\": %d,\n", td_ns, td_allocs
-    printf "    \"trace_driven_insts_per_sec\": %.0f,\n", eng_insts * 1e9 / td_ns
-    printf "    \"trace_driven_vs_synthetic\": %.3f\n  },\n", td_ns / eng_ns
-    printf "  \"trace_codec\": {\n"
-    printf "    \"ns_per_op\": %d,\n    \"insts_per_op\": %d,\n", col_ns, cod_insts
-    printf "    \"insts_per_sec\": %.0f,\n    \"allocs_per_op\": %d,\n", cod_insts * 1e9 / col_ns, col_allocs
-    printf "    \"baseline_ns_per_op\": %d,\n    \"baseline_allocs_per_op\": %d,\n", leg_ns, leg_allocs
-    printf "    \"speedup_vs_baseline\": %.3f\n  },\n", leg_ns / col_ns
-    printf "  \"parallel\": {\n"
-    printf "    \"num_cpu\": %d,\n    \"insts_per_op\": %d,\n", num_cpu, eng_insts
-    printf "    \"merge_ns_per_op\": %d,\n", mrg_ns
-    printf "    \"segments\": [\n"
-    for (i = 1; i <= par_n; i++) {
-        k = par_ks[i]
-        printf "      {\"k\": %d, \"ns_per_op\": %d, \"speedup_vs_serial\": %.3f}%s\n", \
-            k, par_ns[k], par_ns[1] / par_ns[k], (i < par_n ? "," : "")
-    }
-    printf "    ]\n  }\n"
-    printf "}\n"
-}' "$tmpdir/bench.out" >BENCH_engine.json
+# The bench-output-to-JSON conversion lives in engine_bench_json.awk so
+# check.sh can apply it to smoke numbers and diff them with benchdiff.
+awk -v num_cpu="$NUM_CPU" -f scripts/engine_bench_json.awk \
+    "$tmpdir/bench.out" >"$BENCH_ENGINE_OUT"
 
-echo '>> BENCH_engine.json'
-cat BENCH_engine.json
+echo ">> $BENCH_ENGINE_OUT"
+cat "$BENCH_ENGINE_OUT"
 
 if [ "${BENCH_ONLY:-}" = engine ]; then
     exit 0
@@ -121,11 +78,11 @@ done
 echo ">> mlpsimd up at $addr"
 
 echo '>> driving the repeated 64-point grid (cold, then warm)'
-"$tmpdir/mlpload" -addr "http://$addr" -json BENCH_serve.json "$@"
+"$tmpdir/mlpload" -addr "http://$addr" -json "$BENCH_SERVE_OUT" "$@"
 
 kill -INT "$daemon_pid"
 wait "$daemon_pid" || true
 daemon_pid=''
 
-echo '>> BENCH_serve.json'
-cat BENCH_serve.json
+echo ">> $BENCH_SERVE_OUT"
+cat "$BENCH_SERVE_OUT"

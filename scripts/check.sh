@@ -15,6 +15,15 @@ go vet ./...
 tmpdir=$(mktemp -d)
 smoke_cleanup() {
     [ -n "${smoke_pid:-}" ] && kill "$smoke_pid" 2>/dev/null || true
+    # When OBS_ARTIFACT_DIR is set (CI), preserve the smoke run's
+    # observability outputs — shutdown Chrome trace, slow-request
+    # listing, daemon log — so a failed gate leaves the evidence behind.
+    if [ -n "${OBS_ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$OBS_ARTIFACT_DIR"
+        for f in run.trace.json slow.json mlpsimd.log BENCH_engine_smoke.json; do
+            [ -f "$tmpdir/$f" ] && cp "$tmpdir/$f" "$OBS_ARTIFACT_DIR/" 2>/dev/null || true
+        done
+    fi
     rm -rf "$tmpdir"
 }
 trap smoke_cleanup EXIT
@@ -84,21 +93,31 @@ esac
 echo '>> go test -race ./...'
 go test -race "$@" ./...
 
-echo '>> go test -race -cpu 1,2,4 -short (parallel fan-out, merge algebra)'
+echo '>> go test -race -cpu 1,2,4 -short (parallel fan-out, merge algebra, span trees)'
 # The parallel intra-run path fans one simulation out over goroutines
-# that share the engine pool and the trace mmap; re-run its tests at
-# several GOMAXPROCS values so real interleavings (not just the
-# single-P schedule) pass the race detector. -short drops the golden
-# accuracy grid and overlap sweep — they measure drift, not
-# concurrency, and already ran once in the full -race stage above.
+# that share the engine pool and the trace mmap, and every request's
+# span tree is written from sweep points and segment goroutines
+# concurrently; re-run their tests at several GOMAXPROCS values so real
+# interleavings (not just the single-P schedule) pass the race
+# detector. -short drops the golden accuracy grid and overlap sweep —
+# they measure drift, not concurrency, and already ran once in the full
+# -race stage above.
 go test -race -short -cpu 1,2,4 \
-    -run 'TestParallel|TestSplitRun|TestSegments|TestOverlapSweep|TestMerge|TestDefaultParallel' \
+    -run 'TestParallel|TestSplitRun|TestSegments|TestOverlapSweep|TestMerge|TestDefaultParallel|TestSpan' \
     ./internal/sim/ ./internal/server/ .
 
-echo '>> benchmark smoke (1 iteration)'
+echo '>> benchmark smoke (1 iteration) + benchdiff report'
 go test -run '^$' \
     -bench '^(BenchmarkEngine|BenchmarkEngineTraced|BenchmarkEngineTraceDriven|BenchmarkEngineParallel|BenchmarkStatsMerge|BenchmarkTraceDecodeLegacy|BenchmarkTraceDecodeColumnar)$' \
-    -benchtime 1x -benchmem .
+    -benchtime 1x -benchmem . | tee "$tmpdir/smokebench.out"
+# Shape the 1-iteration numbers with the shared awk and diff them
+# against the committed baseline. Report mode only: single-iteration
+# timings are far too noisy to gate CI, but the report makes a creeping
+# regression visible in every log; `make benchdiff` against a real
+# bench.sh run is the gating form (DESIGN.md §17).
+go build -o "$tmpdir/benchdiff" ./cmd/benchdiff
+awk -f scripts/engine_bench_json.awk "$tmpdir/smokebench.out" >"$tmpdir/BENCH_engine_smoke.json"
+"$tmpdir/benchdiff" -mode report -slack 3 BENCH_engine.json "$tmpdir/BENCH_engine_smoke.json"
 
 echo '>> trace format smoke (legacy vs columnar)'
 # The two on-disk codecs must be interchangeable: converting a legacy
@@ -138,9 +157,10 @@ while [ $i -lt 100 ]; do
 done
 [ -n "$addr" ] || { echo 'mlpsimd never became ready'; exit 1; }
 # /healthz + real runs through the client (also exercises the cache
-# path); -scrape then grammar-checks /metrics and pulls the run trace.
+# path); -scrape then grammar-checks /metrics and pulls the run trace;
+# -slow-out captures the slowest-request listing as an artifact.
 "$tmpdir/mlpload" -addr "http://$addr" -workloads database -insts 20000 -warm 10000 \
-    -repeat 1 -concurrency 2 -mode warm -scrape
+    -repeat 1 -concurrency 2 -mode warm -scrape -slow-out "$tmpdir/slow.json"
 kill -INT "$smoke_pid"
 wait "$smoke_pid" || { echo 'mlpsimd did not shut down cleanly'; cat "$tmpdir/mlpsimd.log"; exit 1; }
 smoke_pid=''
@@ -149,6 +169,18 @@ grep -q 'mlpsimd stopped' "$tmpdir/mlpsimd.out" || { echo 'missing clean-shutdow
 [ -s "$tmpdir/run.trace.json" ] || { echo 'trace-out file missing or empty'; exit 1; }
 grep -q '"traceEvents"' "$tmpdir/run.trace.json" || { echo 'trace-out file lacks traceEvents'; exit 1; }
 grep -q '"name":"simulate"' "$tmpdir/run.trace.json" || { echo 'trace-out has no simulate spans'; exit 1; }
-echo 'smoke: OK (incl. metrics grammar, trace export)'
+# The slow-request ring must have retained the load run's requests with
+# per-stage attributions, and the trace IDs it reports must be the same
+# ones stitched into the daemon's completion log lines.
+[ -s "$tmpdir/slow.json" ] || { echo 'slow.json missing or empty'; exit 1; }
+grep -q '"stages_ms"' "$tmpdir/slow.json" || { echo 'slow.json lacks per-stage timings'; exit 1; }
+grep -q '"simulate"' "$tmpdir/slow.json" || { echo 'slow.json has no simulate stage'; exit 1; }
+slow_trace_id=$(sed -n 's/.*"trace_id": *"\([^"]*\)".*/\1/p' "$tmpdir/slow.json" | head -n 1)
+[ -n "$slow_trace_id" ] || { echo 'slow.json has no trace_id'; exit 1; }
+grep -q "trace_id=$slow_trace_id" "$tmpdir/mlpsimd.log" || {
+    echo "trace $slow_trace_id from /debug/obs/slow not stitched into the request log"
+    exit 1
+}
+echo 'smoke: OK (incl. metrics grammar, trace export, slow-request capture)'
 
 echo 'check: OK'
